@@ -1,0 +1,38 @@
+//! Criterion benches for the parallel executor: overhead and scaling of
+//! the ordered parallel map.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sss_exec::par_map;
+
+fn busy_work(x: u64) -> u64 {
+    let mut acc = x;
+    for i in 0..20_000 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+fn bench_exec(c: &mut Criterion) {
+    let items: Vec<u64> = (0..64).collect();
+    let mut g = c.benchmark_group("exec");
+    for workers in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("par_map_64_tasks", workers),
+            &workers,
+            |b, &w| b.iter(|| par_map(w, black_box(&items), |&x| busy_work(x))),
+        );
+    }
+    g.bench_function("overhead_trivial_tasks", |b| {
+        b.iter(|| par_map(4, black_box(&items), |&x| x))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_exec
+}
+criterion_main!(benches);

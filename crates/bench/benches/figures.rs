@@ -1,0 +1,51 @@
+//! Criterion benches for miniature versions of each figure's workload —
+//! a regression guard on the end-to-end cost of regenerating the paper's
+//! evaluation (full-scale runs live in the `src/bin/` regenerators).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sss_iosim::{presets, FileBasedPipeline, FrameSource, StreamingPipeline};
+use sss_loadgen::{sweep, SpawnStrategy, SweepSpec};
+use sss_units::TimeDelta;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig2a_mini_sweep", |b| {
+        b.iter(|| {
+            let spec = SweepSpec::small_grid(SpawnStrategy::Simultaneous, 42);
+            black_box(sweep(&spec, 2))
+        })
+    });
+    g.bench_function("fig2b_mini_sweep", |b| {
+        b.iter(|| {
+            let spec = SweepSpec::small_grid(SpawnStrategy::Reserved, 42);
+            black_box(sweep(&spec, 2))
+        })
+    });
+    g.bench_function("fig4_both_rates", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for period in [0.033, 0.33] {
+                let scan = FrameSource::aps_scan(TimeDelta::from_secs(period));
+                total += StreamingPipeline::new(scan, presets::aps_alcf_wan())
+                    .run()
+                    .completion
+                    .as_secs();
+                for files in [1u32, 10, 144, 1440] {
+                    total += FileBasedPipeline::new(scan, files, presets::aps_to_alcf())
+                        .run()
+                        .completion
+                        .as_secs();
+                }
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion benches for the storage pipeline simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sss_iosim::{presets, FileBasedPipeline, FrameSource, StreamingPipeline};
+use sss_units::TimeDelta;
+
+fn bench_iosim(c: &mut Criterion) {
+    let scan = FrameSource::aps_scan(TimeDelta::from_secs(0.033));
+    let mut g = c.benchmark_group("iosim");
+    g.bench_function("streaming_1440_frames", |b| {
+        b.iter(|| StreamingPipeline::new(black_box(scan), presets::aps_alcf_wan()).run())
+    });
+    for files in [1u32, 144, 1440] {
+        g.bench_with_input(BenchmarkId::new("file_based", files), &files, |b, &f| {
+            b.iter(|| FileBasedPipeline::new(black_box(scan), f, presets::aps_to_alcf()).run())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_iosim
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benches for the analytic core: model evaluation, decisions,
+//! break-even solves, regime maps and Monte-Carlo studies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sss_core::{
+    decide, BreakEven, CompletionModel, ModelParams, MonteCarloOutcome, RegimeMap,
+    TransferEfficiencyDistribution,
+};
+use sss_units::{Bytes, ComputeIntensity, FlopRate, Rate, Ratio};
+
+fn params() -> ModelParams {
+    ModelParams::builder()
+        .data_unit(Bytes::from_gb(2.0))
+        .intensity(ComputeIntensity::from_tflop_per_gb(17.0))
+        .local_rate(FlopRate::from_tflops(10.0))
+        .remote_rate(FlopRate::from_tflops(340.0))
+        .bandwidth(Rate::from_gbps(25.0))
+        .alpha(Ratio::new(0.8))
+        .theta(Ratio::new(1.5))
+        .build()
+        .unwrap()
+}
+
+fn bench_model(c: &mut Criterion) {
+    let p = params();
+    c.bench_function("model/t_pct", |b| {
+        b.iter(|| CompletionModel::new(black_box(p)).t_pct())
+    });
+    c.bench_function("model/decide", |b| b.iter(|| decide(black_box(&p))));
+    c.bench_function("model/break_even", |b| {
+        b.iter(|| BreakEven::of(black_box(&p)))
+    });
+    c.bench_function("model/regime_map_24x12", |b| {
+        b.iter(|| RegimeMap::compute(black_box(&p), (0.05, 1.0), (0.2, 50.0), 24, 12))
+    });
+    c.bench_function("model/monte_carlo_1k", |b| {
+        b.iter(|| {
+            MonteCarloOutcome::run(
+                black_box(&p),
+                TransferEfficiencyDistribution::Uniform { lo: 0.3, hi: 1.0 },
+                1000,
+                7,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_model
+}
+criterion_main!(benches);

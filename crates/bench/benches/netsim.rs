@@ -1,0 +1,44 @@
+//! Criterion benches for the network simulator: event throughput for a
+//! single bulk flow and for a congested multi-client batch.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use sss_netsim::{FlowSpec, SimConfig, SimTime, Simulator};
+use sss_units::Bytes;
+
+fn single_flow_events() -> u64 {
+    let mut sim = Simulator::new(SimConfig::small_test(), 1);
+    sim.add_flow(FlowSpec::new(0, Bytes::from_mb(10.0), SimTime::ZERO));
+    sim.run().events
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    let events = single_flow_events();
+    let mut g = c.benchmark_group("netsim");
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("single_flow_10MB", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimConfig::small_test(), 1);
+            sim.add_flow(FlowSpec::new(0, Bytes::from_mb(10.0), SimTime::ZERO));
+            black_box(sim.run().events)
+        })
+    });
+    g.bench_function("congested_8x5MB", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimConfig::small_test(), 8);
+            for cl in 0..8 {
+                sim.add_flow(FlowSpec::new(cl, Bytes::from_mb(5.0), SimTime::ZERO));
+            }
+            black_box(sim.run().bottleneck.dropped_pkts)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_netsim
+}
+criterion_main!(benches);

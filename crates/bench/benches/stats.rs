@@ -1,0 +1,54 @@
+//! Criterion benches for the statistics kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use sss_stats::{bootstrap_ci, Ecdf, P2Quantile, Summary};
+
+fn samples(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 10.0).collect()
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let xs = samples(10_000);
+    let mut g = c.benchmark_group("stats");
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    g.bench_function("summary_10k", |b| {
+        b.iter(|| Summary::from_samples(black_box(&xs)))
+    });
+    g.bench_function("ecdf_build_10k", |b| {
+        b.iter(|| Ecdf::from_samples(black_box(&xs)).unwrap())
+    });
+    let ecdf = Ecdf::from_samples(&xs).unwrap();
+    g.bench_function("ecdf_quantile", |b| {
+        b.iter(|| black_box(&ecdf).quantile(black_box(0.99)))
+    });
+    g.bench_function("p2_stream_10k", |b| {
+        b.iter(|| {
+            let mut p = P2Quantile::new(0.99);
+            for &x in &xs {
+                p.record(x);
+            }
+            p.estimate()
+        })
+    });
+    g.bench_function("bootstrap_mean_200x", |b| {
+        b.iter(|| {
+            bootstrap_ci(
+                black_box(&xs[..1000]),
+                |s| s.iter().sum::<f64>() / s.len() as f64,
+                0.95,
+                200,
+                9,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_stats
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! E-F2a — regenerate Figure 2(a): maximum transfer time vs network load
+//! for 0.5 GB transfers with P = 2, 4, 8 parallel TCP flows under
+//! simultaneous batch spawning.
+//!
+//! Expected shape (paper): flat and sub-second at low utilization,
+//! 2–3 s in the moderate regime, non-linear growth past ~90%.
+
+use sss_bench::{congestion_curve, figure2_sweep, fmt_s, results_dir};
+use sss_loadgen::SpawnStrategy;
+use sss_report::{AsciiPlot, CsvWriter, Scale, Series, Table};
+
+fn main() {
+    eprintln!("running Figure 2(a) sweep (simultaneous batches)...");
+    let points = figure2_sweep(SpawnStrategy::Simultaneous);
+
+    let mut table = Table::new([
+        "P", "concurrency", "offered", "measured util", "worst", "mean", "p99", "SSS",
+    ])
+    .with_title("Figure 2(a): max transfer time vs load, simultaneous batches");
+    let mut csv = CsvWriter::new([
+        "parallel_flows",
+        "concurrency",
+        "offered_load",
+        "utilization",
+        "worst_s",
+        "mean_s",
+        "p99_s",
+        "sss",
+    ]);
+    let mut series: Vec<Series> = Vec::new();
+    for p_flows in [2u32, 4, 8] {
+        let glyph = match p_flows {
+            2 => 'o',
+            4 => '+',
+            _ => 'x',
+        };
+        let pts: Vec<(f64, f64)> = points
+            .iter()
+            .filter(|p| p.parallel_flows == p_flows)
+            .map(|p| (p.utilization * 100.0, p.worst_transfer_s))
+            .collect();
+        if !pts.is_empty() {
+            series.push(Series::new(format!("P={p_flows}"), glyph, pts));
+        }
+    }
+    for p in &points {
+        let offered = p.results[0].experiment.offered_load().value();
+        table.row([
+            p.parallel_flows.to_string(),
+            p.concurrency.to_string(),
+            format!("{:.0}%", offered * 100.0),
+            format!("{:.1}%", p.utilization * 100.0),
+            fmt_s(p.worst_transfer_s),
+            fmt_s(p.mean_transfer_s),
+            fmt_s(p.p99_transfer_s),
+            format!("{:.1}", p.sss()),
+        ]);
+        csv.row_f64([
+            p.parallel_flows as f64,
+            p.concurrency as f64,
+            offered,
+            p.utilization,
+            p.worst_transfer_s,
+            p.mean_transfer_s,
+            p.p99_transfer_s,
+            p.sss(),
+        ]);
+    }
+
+    println!("{}", table.to_text());
+    let mut plot = AsciiPlot::new("max transfer time (s, log) vs utilization (%)", 64, 16)
+        .labels("utilization %", "worst transfer s")
+        .scales(Scale::Linear, Scale::Log);
+    for s in series {
+        plot = plot.series(s);
+    }
+    println!("{}", plot.render());
+
+    let curve = congestion_curve(&points);
+    println!(
+        "interpolated SSS at 64% utilization: {:.2} (case-study input)",
+        curve.sss_at(0.64).value()
+    );
+    println!(
+        "interpolated SSS at 96% utilization: {:.2}",
+        curve.sss_at(0.96).value()
+    );
+
+    let dir = results_dir();
+    csv.write_to(&dir.join("fig2a.csv")).expect("write fig2a.csv");
+    sss_report::write_json(&dir.join("fig2a_curve.json"), &curve.points().to_vec())
+        .expect("write curve json");
+    eprintln!("wrote {}", dir.join("fig2a.csv").display());
+}

@@ -1,0 +1,86 @@
+//! E-F2b — regenerate Figure 2(b): maximum transfer time vs load when
+//! every transfer is scheduled into a reserved time slot.
+//!
+//! Expected shape (paper): steady ~0.2 s transfers, maximum comfortably
+//! within the 1-second budget at every load level.
+
+use sss_bench::{figure2_sweep, fmt_s, results_dir};
+use sss_loadgen::SpawnStrategy;
+use sss_report::{AsciiPlot, CsvWriter, Scale, Series, Table};
+
+fn main() {
+    eprintln!("running Figure 2(b) sweep (reserved/scheduled slots)...");
+    let points = figure2_sweep(SpawnStrategy::Reserved);
+
+    let mut table = Table::new(["P", "concurrency", "offered", "worst", "mean", "SSS"])
+        .with_title("Figure 2(b): max transfer time vs load, scheduled batches");
+    let mut csv = CsvWriter::new([
+        "parallel_flows",
+        "concurrency",
+        "offered_load",
+        "utilization",
+        "worst_s",
+        "mean_s",
+        "sss",
+    ]);
+    let mut series: Vec<Series> = Vec::new();
+    for p_flows in [2u32, 4, 8] {
+        let glyph = match p_flows {
+            2 => 'o',
+            4 => '+',
+            _ => 'x',
+        };
+        let pts: Vec<(f64, f64)> = points
+            .iter()
+            .filter(|p| p.parallel_flows == p_flows)
+            .map(|p| {
+                (
+                    p.results[0].experiment.offered_load().value() * 100.0,
+                    p.worst_transfer_s,
+                )
+            })
+            .collect();
+        if !pts.is_empty() {
+            series.push(Series::new(format!("P={p_flows}"), glyph, pts));
+        }
+    }
+    let mut max_worst = 0.0f64;
+    for p in &points {
+        let offered = p.results[0].experiment.offered_load().value();
+        max_worst = max_worst.max(p.worst_transfer_s);
+        table.row([
+            p.parallel_flows.to_string(),
+            p.concurrency.to_string(),
+            format!("{:.0}%", offered * 100.0),
+            fmt_s(p.worst_transfer_s),
+            fmt_s(p.mean_transfer_s),
+            format!("{:.1}", p.sss()),
+        ]);
+        csv.row_f64([
+            p.parallel_flows as f64,
+            p.concurrency as f64,
+            offered,
+            p.utilization,
+            p.worst_transfer_s,
+            p.mean_transfer_s,
+            p.sss(),
+        ]);
+    }
+
+    println!("{}", table.to_text());
+    let mut plot = AsciiPlot::new("max transfer time (s) vs offered load (%)", 64, 12)
+        .labels("offered load %", "worst transfer s")
+        .scales(Scale::Linear, Scale::Linear);
+    for s in series {
+        plot = plot.series(s);
+    }
+    println!("{}", plot.render());
+    println!(
+        "worst scheduled transfer across the whole grid: {} (paper: within the 1 s budget)",
+        fmt_s(max_worst)
+    );
+
+    let dir = results_dir();
+    csv.write_to(&dir.join("fig2b.csv")).expect("write fig2b.csv");
+    eprintln!("wrote {}", dir.join("fig2b.csv").display());
+}

@@ -1,0 +1,33 @@
+//! Run every regenerator in sequence, leaving all artifacts in
+//! `results/`. Equivalent to invoking fig2a, fig2b, fig3, fig4, tables,
+//! case_study, regimes, ablation_continuum and headline one by one, but
+//! reuses the expensive Figure 2 sweeps across the binaries that need
+//! them by caching the curve JSON.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "tables",
+        "fig2a",
+        "fig2b",
+        "fig3",
+        "fig4",
+        "case_study",
+        "regimes",
+        "ablation_continuum",
+        "ablation_tcp",
+        "headline",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let bin_dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n=== {bin} ===");
+        let path = bin_dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    println!("\nall artifacts regenerated under results/");
+}

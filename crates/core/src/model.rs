@@ -1,0 +1,182 @@
+//! The completion-time model: Eq. 3 through Eq. 10.
+
+use serde::{Deserialize, Serialize};
+use sss_units::{Ratio, TimeDelta};
+
+use crate::params::ModelParams;
+
+/// Evaluates the paper's completion-time equations for one parameter set.
+///
+/// ```
+/// use sss_core::{CompletionModel, ModelParams};
+/// use sss_units::{Bytes, ComputeIntensity, FlopRate, Rate, Ratio};
+///
+/// // Coherent-scattering-like workload on a 25 Gbps link.
+/// let p = ModelParams::builder()
+///     .data_unit(Bytes::from_gb(2.0))
+///     .intensity(ComputeIntensity::from_tflop_per_gb(17.0))
+///     .local_rate(FlopRate::from_tflops(10.0))
+///     .remote_rate(FlopRate::from_tflops(340.0))
+///     .bandwidth(Rate::from_gbps(25.0))
+///     .alpha(Ratio::new(0.8))
+///     .theta(Ratio::ONE)
+///     .build()
+///     .unwrap();
+/// let m = CompletionModel::new(p);
+/// // Local: 34 TF on 10 TFLOPS = 3.4 s. Remote: 0.8 s transfer + 0.1 s compute.
+/// assert!((m.t_local().as_secs() - 3.4).abs() < 1e-9);
+/// assert!(m.t_pct() < m.t_local());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompletionModel {
+    params: ModelParams,
+}
+
+impl CompletionModel {
+    /// Wrap a parameter set.
+    pub fn new(params: ModelParams) -> Self {
+        CompletionModel { params }
+    }
+
+    /// The wrapped parameters.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// Eq. 3 — `T_local = C·S_unit / R_local`.
+    pub fn t_local(&self) -> TimeDelta {
+        let work = self.params.intensity * self.params.data_unit;
+        work / self.params.local_rate
+    }
+
+    /// Eq. 5 — `T_transfer = S_unit / (α·Bw)`.
+    pub fn t_transfer(&self) -> TimeDelta {
+        self.params.data_unit / self.params.effective_rate()
+    }
+
+    /// Eq. 6 — `T_remote = C·S_unit / (r·R_local) = C·S_unit / R_remote`.
+    pub fn t_remote(&self) -> TimeDelta {
+        let work = self.params.intensity * self.params.data_unit;
+        work / self.params.remote_rate
+    }
+
+    /// `T_IO` from Eq. 7/8 — `(θ − 1)·T_transfer`.
+    pub fn t_io(&self) -> TimeDelta {
+        self.t_transfer() * (self.params.theta.value() - 1.0)
+    }
+
+    /// Eq. 9/10 — total processing-completion time for the remote path:
+    /// `T_pct = θ·S_unit/(α·Bw) + C·S_unit/(r·R_local)`.
+    pub fn t_pct(&self) -> TimeDelta {
+        self.t_transfer() * self.params.theta + self.t_remote()
+    }
+
+    /// The gain of going remote: `T_local / T_pct` (> 1 means remote
+    /// wins). The conclusion calls this "a gain function based on three
+    /// core parameters: α, r and θ".
+    pub fn gain(&self) -> Ratio {
+        self.t_local() / self.t_pct()
+    }
+
+    /// Completion-time reduction from going remote, as a fraction of the
+    /// local time: `1 − T_pct/T_local` (negative when remote is slower).
+    pub fn reduction(&self) -> f64 {
+        1.0 - self.t_pct().as_secs() / self.t_local().as_secs()
+    }
+
+    /// Worst-case variant of Eq. 9: replace the average-case transfer
+    /// time with `SSS × T_theoretical` (§4.1's argument that worst-case
+    /// latency should drive feasibility). `sss` is the measured
+    /// Streaming Speed Score, `t_theoretical = S_unit/Bw`.
+    pub fn t_pct_worst_case(&self, sss: Ratio) -> TimeDelta {
+        let t_theoretical = self.params.data_unit / self.params.bandwidth;
+        t_theoretical * sss * self.params.theta + self.t_remote()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_units::{Bytes, ComputeIntensity, FlopRate, Rate};
+
+    fn params(alpha: f64, theta: f64) -> ModelParams {
+        ModelParams::builder()
+            .data_unit(Bytes::from_gb(2.0))
+            .intensity(ComputeIntensity::from_tflop_per_gb(17.0))
+            .local_rate(FlopRate::from_tflops(10.0))
+            .remote_rate(FlopRate::from_tflops(100.0))
+            .bandwidth(Rate::from_gbps(25.0))
+            .alpha(Ratio::new(alpha))
+            .theta(Ratio::new(theta))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn eq3_local_time() {
+        // 34 TFLOP / 10 TFLOPS = 3.4 s.
+        let m = CompletionModel::new(params(0.8, 1.0));
+        assert!((m.t_local().as_secs() - 3.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq5_transfer_time() {
+        // 2 GB at 0.8 × 25 Gbps = 2 GB / 2.5 GBps = 0.8 s.
+        let m = CompletionModel::new(params(0.8, 1.0));
+        assert!((m.t_transfer().as_secs() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq6_remote_time() {
+        // 34 TFLOP / 100 TFLOPS = 0.34 s.
+        let m = CompletionModel::new(params(0.8, 1.0));
+        assert!((m.t_remote().as_secs() - 0.34).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq7_io_overhead() {
+        // θ = 1.5 → T_IO = 0.5 × T_transfer = 0.4 s.
+        let m = CompletionModel::new(params(0.8, 1.5));
+        assert!((m.t_io().as_secs() - 0.4).abs() < 1e-9);
+        // θ = 1 → no I/O overhead (pure streaming).
+        let s = CompletionModel::new(params(0.8, 1.0));
+        assert_eq!(s.t_io().as_secs(), 0.0);
+    }
+
+    #[test]
+    fn eq10_closed_form() {
+        // T_pct = 1.5 × 0.8 + 0.34 = 1.54 s.
+        let m = CompletionModel::new(params(0.8, 1.5));
+        assert!((m.t_pct().as_secs() - 1.54).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_and_reduction() {
+        let m = CompletionModel::new(params(0.8, 1.0));
+        // T_local 3.4 vs T_pct 1.14: gain ≈ 2.98, reduction ≈ 66%.
+        assert!((m.gain().value() - 3.4 / 1.14).abs() < 1e-9);
+        assert!((m.reduction() - (1.0 - 1.14 / 3.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_uses_sss() {
+        let m = CompletionModel::new(params(0.8, 1.0));
+        // T_theoretical = 2 GB / 3.125 GB/s = 0.64 s; SSS 7.5 → 4.8 s +
+        // 0.34 s remote = 5.14 s.
+        let t = m.t_pct_worst_case(Ratio::new(7.5));
+        assert!((t.as_secs() - 5.14).abs() < 1e-9);
+        // SSS = 1 with α = 1 equals the average-case model.
+        let ideal = CompletionModel::new(params(1.0, 1.0));
+        assert!(
+            (ideal.t_pct_worst_case(Ratio::ONE).as_secs() - ideal.t_pct().as_secs()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn streaming_beats_file_based_via_theta() {
+        let stream = CompletionModel::new(params(0.8, 1.0));
+        let file = CompletionModel::new(params(0.8, 3.0));
+        assert!(stream.t_pct() < file.t_pct());
+    }
+}

@@ -1,0 +1,306 @@
+//! The model's parameters (§3.1) and their semantic constraints.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use sss_units::{Bytes, ComputeIntensity, FlopRate, Rate, Ratio};
+
+/// Why a parameter set was rejected.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamError {
+    /// The offending parameter.
+    pub parameter: &'static str,
+    /// Human-readable constraint violation.
+    pub message: String,
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {}: {}", self.parameter, self.message)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// The seven parameters of §3.1.
+///
+/// | symbol | field | unit |
+/// |---|---|---|
+/// | `S_unit` | `data_unit` | bytes |
+/// | `C` | `intensity` | FLOP/byte |
+/// | `R_local` | `local_rate` | FLOPS |
+/// | `R_remote` | `remote_rate` | FLOPS |
+/// | `Bw` | `bandwidth` | bytes/s |
+/// | `α` | `alpha` | — (`R_transfer/Bw`, in `(0, 1]`) |
+/// | `θ` | `theta` | — (`(T_IO + T_transfer)/T_transfer`, `≥ 1`) |
+///
+/// `r = R_remote / R_local` is derived ([`ModelParams::r`]), as is the
+/// effective transfer rate `α·Bw` ([`ModelParams::effective_rate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// `S_unit`: the data unit being processed (e.g. one second of
+    /// detector output, one scan).
+    pub data_unit: Bytes,
+    /// `C`: computational intensity of the analysis.
+    pub intensity: ComputeIntensity,
+    /// `R_local`: compute rate available at the instrument facility.
+    pub local_rate: FlopRate,
+    /// `R_remote`: compute rate available at the HPC facility.
+    pub remote_rate: FlopRate,
+    /// `Bw`: link bandwidth between the facilities.
+    pub bandwidth: Rate,
+    /// `α`: transfer efficiency (effective achievable rate over `Bw`).
+    pub alpha: Ratio,
+    /// `θ`: file-I/O overhead coefficient; 1 for pure streaming.
+    pub theta: Ratio,
+}
+
+impl ModelParams {
+    /// Start building a parameter set.
+    pub fn builder() -> ModelParamsBuilder {
+        ModelParamsBuilder::default()
+    }
+
+    /// `r = R_remote / R_local` (the remote-processing coefficient).
+    pub fn r(&self) -> Ratio {
+        self.remote_rate / self.local_rate
+    }
+
+    /// `α·Bw`: the effective transfer rate `R_transfer`.
+    pub fn effective_rate(&self) -> Rate {
+        self.bandwidth * self.alpha
+    }
+
+    /// The stream rate the workload demands if data is produced
+    /// continuously: one `S_unit` per second.
+    ///
+    /// This powers the case study's feasibility check ("4 GB/s (32 Gbps)
+    /// would be unfeasible because it is higher than our link capacity of
+    /// 25 Gbps").
+    pub fn required_stream_rate(&self) -> Rate {
+        Rate::from_bytes_per_sec(self.data_unit.as_b())
+    }
+
+    /// Validate all constraints; returns `self` on success.
+    pub fn validated(self) -> Result<Self, ParamError> {
+        let err = |parameter: &'static str, message: String| ParamError { parameter, message };
+        if self.data_unit.as_b() <= 0.0 || !self.data_unit.is_finite() {
+            return Err(err("S_unit", format!("must be positive, got {}", self.data_unit)));
+        }
+        if self.intensity.as_flop_per_byte() < 0.0 || !self.intensity.is_finite() {
+            return Err(err(
+                "C",
+                format!("must be non-negative, got {}", self.intensity),
+            ));
+        }
+        if self.local_rate.as_flops() <= 0.0 || !self.local_rate.is_finite() {
+            return Err(err(
+                "R_local",
+                format!("must be positive, got {}", self.local_rate),
+            ));
+        }
+        if self.remote_rate.as_flops() <= 0.0 || !self.remote_rate.is_finite() {
+            return Err(err(
+                "R_remote",
+                format!("must be positive, got {}", self.remote_rate),
+            ));
+        }
+        if self.bandwidth.as_bytes_per_sec() <= 0.0 || !self.bandwidth.is_finite() {
+            return Err(err("Bw", format!("must be positive, got {}", self.bandwidth)));
+        }
+        if !self.alpha.in_range(f64::MIN_POSITIVE, 1.0) {
+            return Err(err(
+                "alpha",
+                format!("must lie in (0, 1], got {}", self.alpha),
+            ));
+        }
+        if self.theta.value() < 1.0 || !self.theta.is_finite() {
+            return Err(err(
+                "theta",
+                format!("must be >= 1 (Eq. 7 implies T_IO >= 0), got {}", self.theta),
+            ));
+        }
+        Ok(self)
+    }
+}
+
+/// Builder for [`ModelParams`]; `build` validates every constraint.
+#[derive(Debug, Clone, Default)]
+pub struct ModelParamsBuilder {
+    data_unit: Option<Bytes>,
+    intensity: Option<ComputeIntensity>,
+    local_rate: Option<FlopRate>,
+    remote_rate: Option<FlopRate>,
+    bandwidth: Option<Rate>,
+    alpha: Option<Ratio>,
+    theta: Option<Ratio>,
+}
+
+impl ModelParamsBuilder {
+    /// Set `S_unit`.
+    pub fn data_unit(mut self, v: Bytes) -> Self {
+        self.data_unit = Some(v);
+        self
+    }
+
+    /// Set `C`.
+    pub fn intensity(mut self, v: ComputeIntensity) -> Self {
+        self.intensity = Some(v);
+        self
+    }
+
+    /// Set `R_local`.
+    pub fn local_rate(mut self, v: FlopRate) -> Self {
+        self.local_rate = Some(v);
+        self
+    }
+
+    /// Set `R_remote`.
+    pub fn remote_rate(mut self, v: FlopRate) -> Self {
+        self.remote_rate = Some(v);
+        self
+    }
+
+    /// Set `Bw`.
+    pub fn bandwidth(mut self, v: Rate) -> Self {
+        self.bandwidth = Some(v);
+        self
+    }
+
+    /// Set `α`.
+    pub fn alpha(mut self, v: Ratio) -> Self {
+        self.alpha = Some(v);
+        self
+    }
+
+    /// Set `θ` (defaults to 1: pure streaming, no file I/O).
+    pub fn theta(mut self, v: Ratio) -> Self {
+        self.theta = Some(v);
+        self
+    }
+
+    /// Validate and produce the parameter set.
+    pub fn build(self) -> Result<ModelParams, ParamError> {
+        let missing = |parameter: &'static str| ParamError {
+            parameter,
+            message: "missing (builder field not set)".into(),
+        };
+        ModelParams {
+            data_unit: self.data_unit.ok_or_else(|| missing("S_unit"))?,
+            intensity: self.intensity.ok_or_else(|| missing("C"))?,
+            local_rate: self.local_rate.ok_or_else(|| missing("R_local"))?,
+            remote_rate: self.remote_rate.ok_or_else(|| missing("R_remote"))?,
+            bandwidth: self.bandwidth.ok_or_else(|| missing("Bw"))?,
+            alpha: self.alpha.ok_or_else(|| missing("alpha"))?,
+            theta: self.theta.unwrap_or(Ratio::ONE),
+        }
+        .validated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid() -> ModelParamsBuilder {
+        ModelParams::builder()
+            .data_unit(Bytes::from_gb(2.0))
+            .intensity(ComputeIntensity::from_tflop_per_gb(17.0))
+            .local_rate(FlopRate::from_tflops(10.0))
+            .remote_rate(FlopRate::from_tflops(100.0))
+            .bandwidth(Rate::from_gbps(25.0))
+            .alpha(Ratio::new(0.8))
+            .theta(Ratio::new(1.5))
+    }
+
+    #[test]
+    fn builds_and_derives() {
+        let p = valid().build().unwrap();
+        assert!((p.r().value() - 10.0).abs() < 1e-12);
+        assert!((p.effective_rate().as_gbps() - 20.0).abs() < 1e-9);
+        assert!((p.required_stream_rate().as_gigabytes_per_sec() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_defaults_to_one() {
+        let p = ModelParams::builder()
+            .data_unit(Bytes::from_gb(1.0))
+            .intensity(ComputeIntensity::from_tflop_per_gb(1.0))
+            .local_rate(FlopRate::from_tflops(1.0))
+            .remote_rate(FlopRate::from_tflops(1.0))
+            .bandwidth(Rate::from_gbps(10.0))
+            .alpha(Ratio::new(0.5))
+            .build()
+            .unwrap();
+        assert_eq!(p.theta, Ratio::ONE);
+    }
+
+    #[test]
+    fn missing_field_reported() {
+        let e = ModelParams::builder().build().unwrap_err();
+        assert_eq!(e.parameter, "S_unit");
+        assert!(e.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn alpha_out_of_range_rejected() {
+        assert_eq!(
+            valid().alpha(Ratio::new(0.0)).build().unwrap_err().parameter,
+            "alpha"
+        );
+        assert_eq!(
+            valid().alpha(Ratio::new(1.2)).build().unwrap_err().parameter,
+            "alpha"
+        );
+    }
+
+    #[test]
+    fn theta_below_one_rejected() {
+        let e = valid().theta(Ratio::new(0.9)).build().unwrap_err();
+        assert_eq!(e.parameter, "theta");
+        assert!(e.to_string().contains("T_IO"));
+    }
+
+    #[test]
+    fn nonpositive_rates_rejected() {
+        assert_eq!(
+            valid()
+                .local_rate(FlopRate::from_tflops(0.0))
+                .build()
+                .unwrap_err()
+                .parameter,
+            "R_local"
+        );
+        assert_eq!(
+            valid()
+                .bandwidth(Rate::ZERO)
+                .build()
+                .unwrap_err()
+                .parameter,
+            "Bw"
+        );
+        assert_eq!(
+            valid()
+                .data_unit(Bytes::ZERO)
+                .build()
+                .unwrap_err()
+                .parameter,
+            "S_unit"
+        );
+    }
+
+    #[test]
+    fn zero_intensity_allowed() {
+        // Pure data movement (no compute) is a legitimate corner.
+        let p = valid().intensity(ComputeIntensity::ZERO).build().unwrap();
+        assert_eq!(p.intensity, ComputeIntensity::ZERO);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = valid().build().unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ModelParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,226 @@
+//! Facility planning: the model run backwards.
+//!
+//! §6 promises "practical recommendations for facility decision-making".
+//! The forward model answers *"will this workload meet its tier?"*; the
+//! planner answers *"what would it take?"* — the minimum link bandwidth,
+//! remote compute, or transfer efficiency that brings a workload inside
+//! its latency tier under a measured congestion curve.
+
+use serde::{Deserialize, Serialize};
+use sss_units::{FlopRate, Rate, TimeDelta};
+
+use crate::congestion::CongestionCurve;
+use crate::model::CompletionModel;
+use crate::params::ModelParams;
+use crate::tiers::Tier;
+
+/// What a workload needs to meet a tier, holding everything else fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// The tier planned for.
+    pub tier: Tier,
+    /// Worst-case `T_pct` at the current parameters (via the curve).
+    pub current_worst_t_pct: TimeDelta,
+    /// True when the workload already meets the tier, worst case.
+    pub already_feasible: bool,
+    /// Minimum remote compute rate that meets the tier at the current
+    /// network; `None` when no finite rate can (transfer alone blows the
+    /// budget).
+    pub min_remote_rate: Option<FlopRate>,
+    /// Minimum link bandwidth that meets the tier with the current
+    /// remote compute, assuming the congestion curve's *shape* carries
+    /// over (utilization re-evaluated at each candidate bandwidth);
+    /// `None` when even a 100× link does not help.
+    pub min_bandwidth: Option<Rate>,
+}
+
+/// Compute a [`Plan`] for `params` against `tier`, using `curve` to map
+/// utilization to worst-case inflation (Eq. 11 applied at each operating
+/// point). Returns `None` for [`Tier::Offline`].
+pub fn plan_for_tier(params: &ModelParams, curve: &CongestionCurve, tier: Tier) -> Option<Plan> {
+    let budget = tier.budget()?;
+    let worst_now = worst_t_pct(params, curve);
+
+    // Minimum remote rate: budget_for_compute = budget − θ·T_worst;
+    // rate = C·S / budget_for_compute.
+    let transfer_budget = budget - worst_transfer(params, curve) * params.theta;
+    let work = params.intensity * params.data_unit;
+    let min_remote_rate = (transfer_budget.as_secs() > 0.0)
+        .then(|| FlopRate::from_flops(work.as_flop() / transfer_budget.as_secs()));
+
+    // Minimum bandwidth: T_pct(bw) is monotone non-increasing in bw (the
+    // utilization falls, the curve value falls, the theoretical time
+    // falls), so bisect on a bracket up to 100× the current link.
+    let min_bandwidth = {
+        let meets = |bw_factor: f64| -> bool {
+            let mut p = *params;
+            p.bandwidth = params.bandwidth * bw_factor;
+            worst_t_pct(&p, curve) <= budget
+        };
+        if meets(1.0) {
+            Some(search_down(params, curve, budget))
+        } else if !meets(100.0) {
+            None
+        } else {
+            let (mut lo, mut hi) = (1.0f64, 100.0f64);
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                if meets(mid) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            Some(params.bandwidth * hi)
+        }
+    };
+
+    Some(Plan {
+        tier,
+        current_worst_t_pct: worst_now,
+        already_feasible: worst_now <= budget,
+        min_remote_rate,
+        min_bandwidth,
+    })
+}
+
+/// Worst-case transfer time of the data unit at the parameters' operating
+/// point: `SSS(utilization) × S/Bw`.
+fn worst_transfer(params: &ModelParams, curve: &CongestionCurve) -> TimeDelta {
+    let utilization =
+        params.required_stream_rate().as_bytes_per_sec() / params.bandwidth.as_bytes_per_sec();
+    let sss = curve.sss_at(utilization);
+    (params.data_unit / params.bandwidth) * sss
+}
+
+/// Worst-case `T_pct` at an operating point.
+fn worst_t_pct(params: &ModelParams, curve: &CongestionCurve) -> TimeDelta {
+    let utilization =
+        params.required_stream_rate().as_bytes_per_sec() / params.bandwidth.as_bytes_per_sec();
+    let sss = curve.sss_at(utilization);
+    CompletionModel::new(*params).t_pct_worst_case(sss)
+}
+
+/// When already feasible, find how much link could be *given up* while
+/// still meeting the budget (useful for capacity planning): bisect down
+/// to 1% of the current link.
+fn search_down(params: &ModelParams, curve: &CongestionCurve, budget: TimeDelta) -> Rate {
+    let meets = |bw_factor: f64| -> bool {
+        let mut p = *params;
+        p.bandwidth = params.bandwidth * bw_factor;
+        // Feasibility also requires the stream to fit at all.
+        p.required_stream_rate() <= p.effective_rate() && worst_t_pct(&p, curve) <= budget
+    };
+    let (mut lo, mut hi) = (0.01f64, 1.0f64);
+    if meets(lo) {
+        return params.bandwidth * lo;
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if meets(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    params.bandwidth * hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_units::{Bytes, ComputeIntensity, Ratio};
+
+    fn curve() -> CongestionCurve {
+        CongestionCurve::from_points(vec![
+            (0.16, 2.0),
+            (0.64, 2.2),
+            (0.9, 10.0),
+            (1.1, 50.0),
+        ])
+        .unwrap()
+    }
+
+    fn params(remote_tf: f64, bw_gbps: f64) -> ModelParams {
+        ModelParams::builder()
+            .data_unit(Bytes::from_gb(2.0))
+            .intensity(ComputeIntensity::from_tflop_per_gb(17.0))
+            .local_rate(FlopRate::from_tflops(10.0))
+            .remote_rate(FlopRate::from_tflops(remote_tf))
+            .bandwidth(Rate::from_gbps(bw_gbps))
+            .alpha(Ratio::new(0.8))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn offline_tier_unplannable() {
+        assert!(plan_for_tier(&params(340.0, 25.0), &curve(), Tier::Offline).is_none());
+    }
+
+    #[test]
+    fn feasible_workload_reports_headroom() {
+        let plan = plan_for_tier(&params(340.0, 25.0), &curve(), Tier::NearRealTime).unwrap();
+        assert!(plan.already_feasible);
+        // It could meet the tier with less link than it has.
+        let min_bw = plan.min_bandwidth.unwrap();
+        assert!(min_bw < Rate::from_gbps(25.0));
+        // ... but the reported minimum really does still meet the tier.
+        let mut squeezed = params(340.0, 25.0);
+        squeezed.bandwidth = min_bw * 1.01;
+        assert!(worst_t_pct(&squeezed, &curve()) <= TimeDelta::from_secs(10.0));
+    }
+
+    #[test]
+    fn compute_starved_workload_needs_rate() {
+        // 1 TFLOPS remote: 34 TFLOP takes 34 s — misses Tier 2 on compute.
+        let p = params(1.0, 25.0);
+        let plan = plan_for_tier(&p, &curve(), Tier::NearRealTime).unwrap();
+        assert!(!plan.already_feasible);
+        let need = plan.min_remote_rate.unwrap();
+        // Check: with the planned rate the workload meets the tier.
+        let mut fixed = p;
+        fixed.remote_rate = need * 1.001;
+        assert!(
+            worst_t_pct(&fixed, &curve()) <= TimeDelta::from_secs(10.0),
+            "planned rate {} insufficient",
+            need
+        );
+    }
+
+    #[test]
+    fn network_starved_workload_needs_bandwidth() {
+        // A 17 Gbps link at 94% utilization: deep in the congested knee.
+        let p = params(340.0, 17.0);
+        let plan = plan_for_tier(&p, &curve(), Tier::RealTime).unwrap();
+        assert!(!plan.already_feasible);
+        if let Some(bw) = plan.min_bandwidth {
+            let mut fixed = p;
+            fixed.bandwidth = bw * 1.01;
+            assert!(worst_t_pct(&fixed, &curve()) <= TimeDelta::from_secs(1.0));
+            assert!(bw > p.bandwidth);
+        }
+    }
+
+    #[test]
+    fn hopeless_budget_reports_none() {
+        // Tier 1 with a transfer that alone takes > 1 s even at 100×
+        // bandwidth? With utilization → 0 the curve floor is SSS 2, so
+        // T_worst = 2·S/Bw; at 100×25 Gbps that's ~5 ms — feasible. Use a
+        // huge data unit instead so even 2.5 Tbps can't move it in 1 s.
+        let mut p = params(340.0, 25.0);
+        p.data_unit = Bytes::from_tb(1.0);
+        let plan = plan_for_tier(&p, &curve(), Tier::RealTime).unwrap();
+        assert!(!plan.already_feasible);
+        assert!(plan.min_bandwidth.is_none(), "1 TB in <1 s needs >2.5 Tbps");
+        assert!(plan.min_remote_rate.is_none());
+    }
+
+    #[test]
+    fn worst_transfer_uses_curve_at_operating_point() {
+        let p = params(340.0, 25.0);
+        // Utilization = 2 GB/s over 3.125 GB/s = 64% → SSS 2.2.
+        let w = worst_transfer(&p, &curve());
+        assert!((w.as_secs() - 2.2 * 0.64).abs() < 1e-9);
+    }
+}

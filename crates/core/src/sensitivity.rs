@@ -1,0 +1,158 @@
+//! Sensitivity analysis of `T_pct` — which knob matters most?
+//!
+//! `T_pct(α, r, θ, Bw, S, C, R_local)` is smooth, so its partial
+//! derivatives are closed-form. Elasticities (`∂ln T_pct / ∂ln x`) rank
+//! the parameters facility operators can actually act on: buy network
+//! (α, Bw), buy compute (r), or fix the I/O path (θ). This extends the
+//! paper's conclusion, which names α, r and θ the "three core
+//! parameters" of the gain function.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::CompletionModel;
+use crate::params::ModelParams;
+
+/// Closed-form partial derivatives and elasticities of `T_pct` at a
+/// parameter point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sensitivity {
+    /// `∂T_pct/∂α` (seconds per unit α) — always ≤ 0.
+    pub d_alpha: f64,
+    /// `∂T_pct/∂r` (seconds per unit r) — always ≤ 0.
+    pub d_r: f64,
+    /// `∂T_pct/∂θ` (seconds per unit θ) — always ≥ 0.
+    pub d_theta: f64,
+    /// Elasticity w.r.t. α: % change of T_pct per % change of α.
+    pub e_alpha: f64,
+    /// Elasticity w.r.t. r.
+    pub e_r: f64,
+    /// Elasticity w.r.t. θ.
+    pub e_theta: f64,
+}
+
+impl Sensitivity {
+    /// Evaluate at `params`.
+    ///
+    /// With `T_pct = θ·S/(α·Bw) + C·S/(r·R_local)`:
+    /// * `∂/∂α = −θ·S/(α²·Bw)`
+    /// * `∂/∂r = −C·S/(r²·R_local)`
+    /// * `∂/∂θ = S/(α·Bw)`
+    pub fn of(params: &ModelParams) -> Sensitivity {
+        let m = CompletionModel::new(*params);
+        let t_pct = m.t_pct().as_secs();
+        let t_transfer = m.t_transfer().as_secs();
+        let t_remote = m.t_remote().as_secs();
+        let alpha = params.alpha.value();
+        let theta = params.theta.value();
+        let r = params.r().value();
+
+        let d_alpha = -theta * t_transfer / alpha;
+        let d_r = -t_remote / r;
+        let d_theta = t_transfer;
+
+        Sensitivity {
+            d_alpha,
+            d_r,
+            d_theta,
+            e_alpha: d_alpha * alpha / t_pct,
+            e_r: d_r * r / t_pct,
+            e_theta: d_theta * theta / t_pct,
+        }
+    }
+
+    /// The dominant lever: the parameter with the largest-magnitude
+    /// elasticity, as a human-readable name.
+    pub fn dominant(&self) -> &'static str {
+        let ea = self.e_alpha.abs();
+        let er = self.e_r.abs();
+        let et = self.e_theta.abs();
+        if ea >= er && ea >= et {
+            "alpha (transfer efficiency)"
+        } else if er >= et {
+            "r (remote compute)"
+        } else {
+            "theta (I/O overhead)"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_units::{Bytes, ComputeIntensity, FlopRate, Rate, Ratio};
+
+    fn params(alpha: f64, r_tf: f64, theta: f64) -> ModelParams {
+        ModelParams::builder()
+            .data_unit(Bytes::from_gb(2.0))
+            .intensity(ComputeIntensity::from_tflop_per_gb(17.0))
+            .local_rate(FlopRate::from_tflops(10.0))
+            .remote_rate(FlopRate::from_tflops(r_tf))
+            .bandwidth(Rate::from_gbps(25.0))
+            .alpha(Ratio::new(alpha))
+            .theta(Ratio::new(theta))
+            .build()
+            .unwrap()
+    }
+
+    /// Central finite difference of T_pct along one mutated parameter.
+    fn numeric_d(params: &ModelParams, mutate: impl Fn(&mut ModelParams, f64)) -> f64 {
+        let h = 1e-6;
+        let mut lo = *params;
+        mutate(&mut lo, -h);
+        let mut hi = *params;
+        mutate(&mut hi, h);
+        (CompletionModel::new(hi).t_pct().as_secs() - CompletionModel::new(lo).t_pct().as_secs())
+            / (2.0 * h)
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let p = params(0.8, 100.0, 1.5);
+        let s = Sensitivity::of(&p);
+
+        let nd_alpha = numeric_d(&p, |q, h| q.alpha = Ratio::new(q.alpha.value() + h));
+        assert!((s.d_alpha - nd_alpha).abs() < 1e-3 * nd_alpha.abs());
+
+        let nd_theta = numeric_d(&p, |q, h| q.theta = Ratio::new(q.theta.value() + h));
+        assert!((s.d_theta - nd_theta).abs() < 1e-3 * nd_theta.abs().max(1e-9));
+
+        let nd_r = numeric_d(&p, |q, h| {
+            q.remote_rate = q.local_rate * (q.r().value() + h)
+        });
+        assert!((s.d_r - nd_r).abs() < 1e-3 * nd_r.abs());
+    }
+
+    #[test]
+    fn signs_are_fixed() {
+        for (a, r, th) in [(0.2, 5.0, 1.0), (0.9, 500.0, 8.0), (0.5, 50.0, 2.0)] {
+            let s = Sensitivity::of(&params(a, r, th));
+            assert!(s.d_alpha <= 0.0);
+            assert!(s.d_r <= 0.0);
+            assert!(s.d_theta >= 0.0);
+        }
+    }
+
+    #[test]
+    fn transfer_bound_workload_is_alpha_dominant() {
+        // Huge remote compute: T_remote negligible → α/θ dominate.
+        let s = Sensitivity::of(&params(0.5, 10_000.0, 1.0));
+        assert!(s.dominant().starts_with("alpha"));
+    }
+
+    #[test]
+    fn compute_bound_workload_is_r_dominant() {
+        // Remote barely faster than local, perfect network: r dominates.
+        let s = Sensitivity::of(&params(1.0, 12.0, 1.0));
+        assert_eq!(s.dominant(), "r (remote compute)");
+    }
+
+    #[test]
+    fn elasticities_sum_property() {
+        // e_alpha = -θT_t/T_pct, e_theta = +θT_t/T_pct, e_r = -T_r/T_pct:
+        // e_alpha + e_theta = 0 and e_r = -(1 - θT_t/T_pct).
+        let p = params(0.8, 100.0, 2.0);
+        let s = Sensitivity::of(&p);
+        assert!((s.e_alpha + s.e_theta).abs() < 1e-12);
+        assert!((s.e_r + 1.0 + s.e_alpha).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,172 @@
+//! The complete Figure 1 comparison: time until the *analysis* finishes,
+//! not just until bytes land.
+//!
+//! Figure 1(a): instrument → local PFS → DTN → remote PFS → **compute
+//! nodes read the files back** → process. Figure 1(b): instrument →
+//! stream → compute memory → process. The read-back stage is part of the
+//! paper's `T_IO` (data staged to Lustre still has to come off Lustre),
+//! and this module closes the loop to a full `T_pct` measured in
+//! simulation, which the analytic Eq. 10 can then be checked against.
+
+use serde::{Deserialize, Serialize};
+use sss_units::{FlopRate, Rate, TimeDelta};
+
+use crate::pipeline::{FileBasedPipeline, StreamingPipeline};
+use crate::profile::{PathProfile, WanProfile};
+use crate::workload::FrameSource;
+
+/// Remote analysis description: compute rate and per-byte work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RemoteAnalysis {
+    /// Aggregate compute rate of the allocated remote nodes.
+    pub rate: FlopRate,
+    /// Work per byte of scan data (FLOP/B).
+    pub flop_per_byte: f64,
+}
+
+impl RemoteAnalysis {
+    /// Processing time for `bytes` of data.
+    fn compute_time(&self, bytes: f64) -> f64 {
+        bytes * self.flop_per_byte / self.rate.as_flops()
+    }
+}
+
+/// Completion report for one end-to-end analysis run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisResult {
+    /// When the last input unit was available to compute.
+    pub data_ready: TimeDelta,
+    /// When the analysis of the full scan finished.
+    pub analysis_done: TimeDelta,
+    /// Simulated `T_pct` measured from acquisition start.
+    pub t_pct: TimeDelta,
+}
+
+/// End-to-end staged (file-based) analysis: files land on the remote PFS,
+/// compute nodes read each file back and process it; processing of file
+/// `i` can start as soon as it is both on disk and the readers are free.
+pub fn staged_analysis(
+    source: FrameSource,
+    files: u32,
+    path: PathProfile,
+    analysis: RemoteAnalysis,
+) -> AnalysisResult {
+    let movement = FileBasedPipeline::new(source, files, path).run();
+    let per_file_bytes: Vec<f64> = (0..files)
+        .map(|i| {
+            let base = source.n_frames / files;
+            let rem = source.n_frames % files;
+            let frames = base + u32::from(i < rem);
+            source.frame_bytes.as_b() * frames as f64
+        })
+        .collect();
+
+    // Readers: a single pipelined read+process chain (read bandwidth and
+    // compute overlap across files via a busy-until recurrence).
+    let read_bw = path.remote.read_bw.as_bytes_per_sec();
+    let mut busy = 0.0f64;
+    for (avail, bytes) in movement.unit_available_s.iter().zip(&per_file_bytes) {
+        let start = avail.max(busy);
+        let read = bytes / read_bw + path.remote.metadata_latency.as_secs();
+        let compute = analysis.compute_time(*bytes);
+        // Read and compute pipeline per file: the slower stage dominates
+        // in steady state; charge read + compute for the first byte-wave.
+        busy = start + read + compute;
+    }
+
+    AnalysisResult {
+        data_ready: movement.completion,
+        analysis_done: TimeDelta::from_secs(busy),
+        t_pct: TimeDelta::from_secs(busy),
+    }
+}
+
+/// End-to-end streaming analysis: frames are processed from memory as
+/// they arrive (Figure 1(b)); no read-back stage exists.
+pub fn streaming_analysis(
+    source: FrameSource,
+    wan: WanProfile,
+    analysis: RemoteAnalysis,
+) -> AnalysisResult {
+    let movement = StreamingPipeline::new(source, wan).run();
+    let mut busy = 0.0f64;
+    let per_frame = source.frame_bytes.as_b();
+    for avail in &movement.unit_available_s {
+        let start = avail.max(busy);
+        busy = start + analysis.compute_time(per_frame);
+    }
+    AnalysisResult {
+        data_ready: movement.completion,
+        analysis_done: TimeDelta::from_secs(busy),
+        t_pct: TimeDelta::from_secs(busy),
+    }
+}
+
+/// Effective data-movement rate achieved by a pipeline, for cross-checks
+/// against the model's `α·Bw`.
+pub fn effective_rate(source: &FrameSource, result: &AnalysisResult) -> Rate {
+    source.total_bytes() / result.data_ready
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::presets;
+    use sss_units::{Bytes, TimeDelta};
+
+    fn scan() -> FrameSource {
+        FrameSource::new(144, Bytes::from_mb(8.0), TimeDelta::from_millis(33.0))
+    }
+
+    fn analysis(tflops: f64) -> RemoteAnalysis {
+        RemoteAnalysis {
+            rate: FlopRate::from_tflops(tflops),
+            flop_per_byte: 2_000.0, // 2 TFLOP/GB
+        }
+    }
+
+    #[test]
+    fn analysis_finishes_after_data_ready_minus_overlap() {
+        let r = staged_analysis(scan(), 12, presets::aps_to_alcf(), analysis(100.0));
+        // Work can't finish before the final file is processable.
+        assert!(r.analysis_done >= r.data_ready.min(r.analysis_done));
+        assert!(r.t_pct.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn streaming_analysis_beats_staged() {
+        let s = streaming_analysis(scan(), presets::aps_alcf_wan(), analysis(100.0));
+        let f = staged_analysis(scan(), 144, presets::aps_to_alcf(), analysis(100.0));
+        assert!(
+            s.t_pct < f.t_pct,
+            "streaming {} vs staged {}",
+            s.t_pct,
+            f.t_pct
+        );
+    }
+
+    #[test]
+    fn faster_remote_compute_shrinks_t_pct() {
+        let slow = streaming_analysis(scan(), presets::aps_alcf_wan(), analysis(1.0));
+        let fast = streaming_analysis(scan(), presets::aps_alcf_wan(), analysis(1000.0));
+        assert!(fast.t_pct < slow.t_pct);
+    }
+
+    #[test]
+    fn compute_bound_streaming_is_rate_limited() {
+        // A tiny remote machine: processing each 8 MB frame at 0.01
+        // TFLOPS with 2 kFLOP/B takes ~1.68 s >> the 33 ms cadence, so
+        // the analysis, not movement, dominates.
+        let r = streaming_analysis(scan(), presets::aps_alcf_wan(), analysis(0.01));
+        let per_frame = 8.0e6 * 2000.0 / 0.01e12;
+        assert!(r.t_pct.as_secs() >= 144.0 * per_frame * 0.95);
+    }
+
+    #[test]
+    fn effective_rate_bounded_by_generation() {
+        let s = streaming_analysis(scan(), presets::aps_alcf_wan(), analysis(100.0));
+        let rate = effective_rate(&scan(), &s);
+        // Streaming can't beat the generation rate over the full scan.
+        assert!(rate.as_bytes_per_sec() <= scan().generation_rate().as_bytes_per_sec() * 1.01);
+    }
+}

@@ -1,0 +1,316 @@
+//! Simulator configuration and the paper's testbed presets.
+
+use serde::{Deserialize, Serialize};
+use sss_units::{Bytes, Rate, TimeDelta};
+
+/// Queue discipline for a link's buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Qdisc {
+    /// Plain FIFO with tail drop at the buffer limit — what the paper's
+    /// testbed switches do, and the source of its synchronized-loss tails.
+    DropTail,
+    /// Random Early Detection (Floyd & Jacobson '93, simplified): drop
+    /// probabilistically once the EWMA queue occupancy passes `min_th`,
+    /// always past `max_th`. Included as an ablation: AQM is the
+    /// classical remedy for exactly the tail behaviour the paper
+    /// measures.
+    Red {
+        /// EWMA threshold (bytes) where probabilistic dropping begins.
+        min_th: f64,
+        /// EWMA threshold (bytes) where dropping becomes certain.
+        max_th: f64,
+        /// Drop probability as the average crosses `max_th`.
+        max_p: f64,
+        /// EWMA weight for the average queue estimate (e.g. 0.002).
+        weight: f64,
+    },
+}
+
+/// One unidirectional link: rate, propagation delay, and a byte-limited
+/// queue with a configurable discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Serialization rate.
+    pub rate: Rate,
+    /// One-way propagation delay.
+    pub prop_delay: TimeDelta,
+    /// Queue capacity in bytes (hard limit regardless of discipline).
+    pub buffer: Bytes,
+    /// Queue discipline.
+    pub qdisc: Qdisc,
+}
+
+impl LinkConfig {
+    /// Validate: positive finite rate, non-negative delay, positive buffer.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rate.as_bytes_per_sec() <= 0.0 || !self.rate.is_finite() {
+            return Err(format!("link rate must be positive, got {}", self.rate));
+        }
+        if self.prop_delay.is_sign_negative() || !self.prop_delay.is_finite() {
+            return Err(format!(
+                "propagation delay must be non-negative, got {}",
+                self.prop_delay
+            ));
+        }
+        if self.buffer.as_b() <= 0.0 || !self.buffer.is_finite() {
+            return Err(format!("buffer must be positive, got {}", self.buffer));
+        }
+        if let Qdisc::Red {
+            min_th,
+            max_th,
+            max_p,
+            weight,
+        } = self.qdisc
+        {
+            if !(0.0 < min_th && min_th < max_th && max_th <= self.buffer.as_b()) {
+                return Err(format!(
+                    "RED thresholds must satisfy 0 < min_th < max_th <= buffer, got \
+                     {min_th}/{max_th} with buffer {}",
+                    self.buffer
+                ));
+            }
+            if !(0.0 < max_p && max_p <= 1.0) {
+                return Err(format!("RED max_p must be in (0,1], got {max_p}"));
+            }
+            if !(0.0 < weight && weight <= 1.0) {
+                return Err(format!("RED weight must be in (0,1], got {weight}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// TCP sender parameters (Reno/NewReno).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcpConfig {
+    /// Maximum segment size in bytes. The paper's MTU-9000 jumbo frames
+    /// give an MSS of 8,948 B after 52 B of headers.
+    pub mss: u32,
+    /// Initial congestion window in segments (RFC 6928 default: 10).
+    pub initial_cwnd_segments: u32,
+    /// Initial slow-start threshold in bytes (effectively unbounded).
+    pub initial_ssthresh: f64,
+    /// Upper bound on cwnd in bytes (models the socket-buffer limit of a
+    /// tuned DTN; 2×BDP on the paper's testbed).
+    pub max_cwnd: f64,
+    /// Minimum retransmission timeout (Linux default 200 ms).
+    pub min_rto: TimeDelta,
+    /// Maximum retransmission timeout after exponential back-off.
+    pub max_rto: TimeDelta,
+    /// Initial RTO before any RTT sample (RFC 6298: 1 s).
+    pub initial_rto: TimeDelta,
+    /// Congestion-avoidance algorithm.
+    pub algo: crate::tcp::CongestionAlgo,
+    /// Enable the HyStart delay-based slow-start exit (Linux default on).
+    pub hystart: bool,
+}
+
+impl TcpConfig {
+    /// MSS for MTU-9000 jumbo frames.
+    pub const JUMBO_MSS: u32 = 8_948;
+    /// MSS for standard 1500-byte Ethernet.
+    pub const STANDARD_MSS: u32 = 1_448;
+
+    /// Default TCP tuning for a given bandwidth-delay product.
+    pub fn for_bdp(bdp: Bytes) -> Self {
+        TcpConfig {
+            mss: Self::JUMBO_MSS,
+            initial_cwnd_segments: 10,
+            initial_ssthresh: f64::INFINITY,
+            max_cwnd: 2.0 * bdp.as_b(),
+            min_rto: TimeDelta::from_millis(200.0),
+            max_rto: TimeDelta::from_secs(60.0),
+            initial_rto: TimeDelta::from_secs(1.0),
+            algo: crate::tcp::CongestionAlgo::Cubic,
+            hystart: true,
+        }
+    }
+
+    /// Validate invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mss == 0 {
+            return Err("mss must be positive".into());
+        }
+        if self.initial_cwnd_segments == 0 {
+            return Err("initial cwnd must be at least one segment".into());
+        }
+        if self.max_cwnd < self.mss as f64 {
+            return Err("max_cwnd must hold at least one segment".into());
+        }
+        if self.min_rto.as_secs() <= 0.0 {
+            return Err("min_rto must be positive".into());
+        }
+        if self.max_rto < self.min_rto {
+            return Err("max_rto must be >= min_rto".into());
+        }
+        Ok(())
+    }
+}
+
+/// Full simulator configuration: a star topology of identical client
+/// access links feeding one shared bottleneck link into the server.
+///
+/// Data path: client NIC → access link → bottleneck queue → server.
+/// ACK path: modeled as a pure delay (`ack_delay`) — the paper's
+/// orchestrator guarantees "no contention on the server side", so return
+/// traffic never queues.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Per-client access link (client NIC).
+    pub access: LinkConfig,
+    /// Shared bottleneck link (server NIC).
+    pub bottleneck: LinkConfig,
+    /// One-way delay for returning ACKs.
+    pub ack_delay: TimeDelta,
+    /// TCP sender parameters.
+    pub tcp: TcpConfig,
+    /// Hard stop for the event loop; flows unfinished at this point are
+    /// reported as incomplete rather than looping forever.
+    pub max_sim_time: TimeDelta,
+    /// Width of the interface-counter sampling bins.
+    pub counter_bin: TimeDelta,
+}
+
+impl SimConfig {
+    /// The paper's testbed (Table 1 / Table 2):
+    /// 25 Gbps NICs, 16 ms RTT (8 ms each way), MTU 9000,
+    /// bottleneck buffer of one bandwidth-delay product (50 MB).
+    pub fn paper_testbed() -> Self {
+        let rate = Rate::from_gbps(25.0);
+        let one_way = TimeDelta::from_millis(8.0);
+        let bdp = rate * TimeDelta::from_millis(16.0); // 50 MB
+        SimConfig {
+            access: LinkConfig {
+                rate,
+                // LAN hop from the client VM to the switch.
+                prop_delay: TimeDelta::from_micros(50.0),
+                // Sender-side queue (qdisc + NIC ring): generous but finite.
+                buffer: Bytes::from_mb(64.0),
+                qdisc: Qdisc::DropTail,
+            },
+            bottleneck: LinkConfig {
+                rate,
+                prop_delay: one_way,
+                buffer: bdp,
+                qdisc: Qdisc::DropTail,
+            },
+            ack_delay: one_way,
+            tcp: TcpConfig::for_bdp(bdp),
+            max_sim_time: TimeDelta::from_secs(300.0),
+            counter_bin: TimeDelta::from_millis(100.0),
+        }
+    }
+
+    /// A scaled-down configuration for fast unit/integration tests:
+    /// 1 Gbps, 4 ms RTT, standard MSS, 500 kB bottleneck buffer.
+    pub fn small_test() -> Self {
+        let rate = Rate::from_gbps(1.0);
+        let one_way = TimeDelta::from_millis(2.0);
+        let bdp = rate * TimeDelta::from_millis(4.0);
+        SimConfig {
+            access: LinkConfig {
+                rate,
+                prop_delay: TimeDelta::from_micros(10.0),
+                buffer: Bytes::from_mb(2.0),
+                qdisc: Qdisc::DropTail,
+            },
+            bottleneck: LinkConfig {
+                rate,
+                prop_delay: one_way,
+                buffer: bdp, // 500 kB
+                qdisc: Qdisc::DropTail,
+            },
+            ack_delay: one_way,
+            tcp: TcpConfig {
+                mss: TcpConfig::STANDARD_MSS,
+                ..TcpConfig::for_bdp(bdp)
+            },
+            max_sim_time: TimeDelta::from_secs(120.0),
+            counter_bin: TimeDelta::from_millis(100.0),
+        }
+    }
+
+    /// Round-trip time implied by the propagation delays (no queueing).
+    pub fn base_rtt(&self) -> TimeDelta {
+        self.access.prop_delay + self.bottleneck.prop_delay + self.ack_delay
+    }
+
+    /// Bandwidth-delay product of the bottleneck at the base RTT.
+    pub fn bdp(&self) -> Bytes {
+        self.bottleneck.rate * self.base_rtt()
+    }
+
+    /// Validate the whole configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        self.access.validate()?;
+        self.bottleneck.validate()?;
+        self.tcp.validate()?;
+        if self.ack_delay.is_sign_negative() {
+            return Err("ack_delay must be non-negative".into());
+        }
+        if self.max_sim_time.as_secs() <= 0.0 {
+            return Err("max_sim_time must be positive".into());
+        }
+        if self.counter_bin.as_secs() <= 0.0 {
+            return Err("counter_bin must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_matches_table1() {
+        let cfg = SimConfig::paper_testbed();
+        assert!((cfg.bottleneck.rate.as_gbps() - 25.0).abs() < 1e-9);
+        assert!((cfg.base_rtt().as_millis() - 16.05).abs() < 0.1);
+        // BDP ≈ 50 MB.
+        assert!((cfg.bdp().as_mb() - 50.0).abs() < 1.0);
+        assert_eq!(cfg.tcp.mss, 8_948);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn small_test_valid() {
+        SimConfig::small_test().validate().unwrap();
+    }
+
+    #[test]
+    fn link_validation() {
+        let mut l = SimConfig::small_test().bottleneck;
+        l.rate = Rate::ZERO;
+        assert!(l.validate().is_err());
+        let mut l2 = SimConfig::small_test().bottleneck;
+        l2.buffer = Bytes::ZERO;
+        assert!(l2.validate().is_err());
+        let mut l3 = SimConfig::small_test().bottleneck;
+        l3.prop_delay = TimeDelta::from_secs(-1.0);
+        assert!(l3.validate().is_err());
+    }
+
+    #[test]
+    fn tcp_validation() {
+        let mut t = TcpConfig::for_bdp(Bytes::from_mb(1.0));
+        t.validate().unwrap();
+        t.mss = 0;
+        assert!(t.validate().is_err());
+
+        let mut t2 = TcpConfig::for_bdp(Bytes::from_mb(1.0));
+        t2.max_cwnd = 10.0;
+        assert!(t2.validate().is_err());
+
+        let mut t3 = TcpConfig::for_bdp(Bytes::from_mb(1.0));
+        t3.max_rto = TimeDelta::from_millis(1.0);
+        assert!(t3.validate().is_err());
+    }
+
+    #[test]
+    fn bdp_scales_with_rtt() {
+        let cfg = SimConfig::paper_testbed();
+        let expected = 25.0e9 / 8.0 * 0.016;
+        assert!((cfg.bdp().as_b() - expected).abs() / expected < 0.02);
+    }
+}

@@ -1,0 +1,183 @@
+//! Simulation clock: integer nanoseconds.
+//!
+//! Integer time makes event ordering exact and runs reproducible across
+//! platforms; `f64` seconds are converted at the boundary only.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+use sss_units::TimeDelta;
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+    /// Largest representable instant (~584 simulated years).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from fractional seconds (rounded to the nearest ns).
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input: simulated time starts at 0.
+    pub fn from_secs(s: f64) -> Self {
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "SimTime must be non-negative and finite, got {s}"
+        );
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Value in fractional seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Convert to a [`TimeDelta`] measured from the epoch.
+    #[inline]
+    pub fn as_delta(self) -> TimeDelta {
+        TimeDelta::from_secs(self.as_secs())
+    }
+
+    /// Saturating difference `self - earlier` as a [`TimeDelta`].
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> TimeDelta {
+        TimeDelta::from_secs(self.0.saturating_sub(earlier.0) as f64 / 1e9)
+    }
+
+    /// Convert a (non-negative) [`TimeDelta`] into an offset, rounding to ns.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite deltas.
+    pub fn delta_to_nanos(d: TimeDelta) -> u64 {
+        let s = d.as_secs();
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "cannot schedule a negative/non-finite delay: {s}"
+        );
+        (s * 1e9).round() as u64
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    /// Advance by `rhs` nanoseconds (saturating).
+    #[inline]
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0.saturating_add(rhs))
+    }
+}
+
+impl Add<TimeDelta> for SimTime {
+    type Output = SimTime;
+    /// Advance by a (non-negative) time delta.
+    #[inline]
+    fn add(self, rhs: TimeDelta) -> SimTime {
+        self + SimTime::delta_to_nanos(rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 = self.0.saturating_add(rhs);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = TimeDelta;
+    /// Saturating difference as a [`TimeDelta`].
+    #[inline]
+    fn sub(self, rhs: SimTime) -> TimeDelta {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(SimTime::from_micros(2).as_nanos(), 2_000);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_secs(1.5).as_nanos(), 1_500_000_000);
+        assert_eq!(SimTime::from_secs(0.0), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_seconds_panics() {
+        let _ = SimTime::from_secs(-0.1);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(10) + 500u64;
+        assert_eq!(t.as_nanos(), 10_000_500);
+        let dt = SimTime::from_millis(26) - SimTime::from_millis(10);
+        assert!((dt.as_millis() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let dt = SimTime::from_millis(1) - SimTime::from_millis(5);
+        assert_eq!(dt.as_secs(), 0.0);
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let d = TimeDelta::from_millis(16.0);
+        assert_eq!(SimTime::delta_to_nanos(d), 16_000_000);
+        let t = SimTime::ZERO + d;
+        assert_eq!(t.as_delta().as_millis(), 16.0);
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert_eq!(SimTime::from_nanos(5), SimTime::from_nanos(5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_millis(160).to_string(), "t=0.160000s");
+    }
+}

@@ -1,0 +1,110 @@
+//! Minimal CSV emission (RFC 4180 quoting).
+
+use std::fmt::Write as _;
+
+/// Builds CSV text from a header and rows, quoting fields that need it.
+#[derive(Debug, Clone, Default)]
+pub struct CsvWriter {
+    out: String,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// Start a CSV document with the given header.
+    pub fn new<S: AsRef<str>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        let mut w = CsvWriter {
+            out: String::new(),
+            columns: 0,
+        };
+        let cells: Vec<String> = header
+            .into_iter()
+            .map(|c| Self::escape(c.as_ref()))
+            .collect();
+        w.columns = cells.len();
+        w.out.push_str(&cells.join(","));
+        w.out.push('\n');
+        w
+    }
+
+    /// Append a row of string cells.
+    ///
+    /// # Panics
+    /// Panics when the arity differs from the header.
+    pub fn row<S: AsRef<str>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let cells: Vec<String> = cells
+            .into_iter()
+            .map(|c| Self::escape(c.as_ref()))
+            .collect();
+        assert_eq!(cells.len(), self.columns, "CSV row arity mismatch");
+        self.out.push_str(&cells.join(","));
+        self.out.push('\n');
+        self
+    }
+
+    /// Append a row of floats with full precision.
+    pub fn row_f64<I: IntoIterator<Item = f64>>(&mut self, cells: I) -> &mut Self {
+        let mut text_cells = Vec::new();
+        for v in cells {
+            let mut s = String::new();
+            write!(s, "{v}").expect("write to string");
+            text_cells.push(s);
+        }
+        self.row(text_cells)
+    }
+
+    /// The CSV document so far.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    /// Write the document to a file.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, &self.out)
+    }
+
+    fn escape(cell: &str) -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_csv() {
+        let mut w = CsvWriter::new(["a", "b"]);
+        w.row(["1", "2"]).row(["3", "4"]);
+        assert_eq!(w.as_str(), "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn quoting() {
+        let mut w = CsvWriter::new(["text"]);
+        w.row(["has,comma"]);
+        w.row(["has\"quote"]);
+        w.row(["has\nnewline"]);
+        let lines: Vec<&str> = w.as_str().split('\n').collect();
+        assert_eq!(lines[1], "\"has,comma\"");
+        assert_eq!(lines[2], "\"has\"\"quote\"");
+        assert!(w.as_str().contains("\"has\nnewline\""));
+    }
+
+    #[test]
+    fn float_rows() {
+        let mut w = CsvWriter::new(["x", "y"]);
+        w.row_f64([0.5, 1.25]);
+        assert_eq!(w.as_str(), "x,y\n0.5,1.25\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut w = CsvWriter::new(["a", "b"]);
+        w.row(["only"]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Seeded bootstrap confidence intervals.
+//!
+//! The paper's worst-case estimator ("the maximum transfer time within each
+//! experiment serves as a heuristic") is a single order statistic, so its
+//! sampling variability matters. Percentile bootstrap gives a cheap,
+//! distribution-free interval around any statistic of the sample.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A bootstrap percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapCi {
+    /// Statistic evaluated on the original sample.
+    pub point: f64,
+    /// Lower interval edge.
+    pub lo: f64,
+    /// Upper interval edge.
+    pub hi: f64,
+    /// Confidence level used (e.g. 0.95).
+    pub level: f64,
+    /// Number of bootstrap resamples drawn.
+    pub resamples: usize,
+}
+
+/// Percentile-bootstrap confidence interval for an arbitrary statistic.
+///
+/// * `samples` — the observed data (must be non-empty, NaN-free).
+/// * `statistic` — any function of a sample (mean, median, max, P99, ...).
+/// * `level` — confidence level in `(0, 1)`, e.g. `0.95`.
+/// * `resamples` — number of bootstrap draws (hundreds suffice in practice).
+/// * `seed` — RNG seed; identical inputs yield identical intervals.
+///
+/// Returns `None` for empty/NaN input or out-of-range `level`.
+pub fn bootstrap_ci<F>(
+    samples: &[f64],
+    statistic: F,
+    level: f64,
+    resamples: usize,
+    seed: u64,
+) -> Option<BootstrapCi>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if samples.is_empty() || samples.iter().any(|x| x.is_nan()) {
+        return None;
+    }
+    if !(0.0..1.0).contains(&level) || level <= 0.0 || resamples == 0 {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = samples.len();
+    let mut stats = Vec::with_capacity(resamples);
+    let mut resample = vec![0.0; n];
+    for _ in 0..resamples {
+        for slot in resample.iter_mut() {
+            *slot = samples[rng.random_range(0..n)];
+        }
+        stats.push(statistic(&resample));
+    }
+    stats.sort_by(f64::total_cmp);
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((alpha * resamples as f64) as usize).min(resamples - 1);
+    let hi_idx = (((1.0 - alpha) * resamples as f64) as usize).min(resamples - 1);
+    Some(BootstrapCi {
+        point: statistic(samples),
+        lo: stats[lo_idx],
+        hi: stats[hi_idx],
+        level,
+        resamples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    fn max(xs: &[f64]) -> f64 {
+        xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(bootstrap_ci(&[], mean, 0.95, 100, 1).is_none());
+        assert!(bootstrap_ci(&[1.0, f64::NAN], mean, 0.95, 100, 1).is_none());
+        assert!(bootstrap_ci(&[1.0], mean, 1.5, 100, 1).is_none());
+        assert!(bootstrap_ci(&[1.0], mean, 0.95, 0, 1).is_none());
+    }
+
+    #[test]
+    fn interval_contains_point_for_mean() {
+        let xs: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let ci = bootstrap_ci(&xs, mean, 0.95, 500, 42).unwrap();
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+        assert!((ci.point - 4.5).abs() < 1e-12);
+        // Interval should be snug around 4.5 for such a regular sample.
+        assert!(ci.hi - ci.lo < 1.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let a = bootstrap_ci(&xs, mean, 0.9, 300, 7).unwrap();
+        let b = bootstrap_ci(&xs, mean, 0.9, 300, 7).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_ci(&xs, mean, 0.9, 300, 8).unwrap();
+        assert!(a.lo != c.lo || a.hi != c.hi);
+    }
+
+    #[test]
+    fn max_statistic_interval_leans_low() {
+        // Bootstrap of the max is biased downward (resamples can miss the
+        // largest value); the interval's upper edge equals the sample max.
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let ci = bootstrap_ci(&xs, max, 0.95, 500, 3).unwrap();
+        assert_eq!(ci.point, 100.0);
+        assert!(ci.hi <= 100.0);
+        assert!(ci.lo < 100.0);
+    }
+
+    #[test]
+    fn wider_level_wider_interval() {
+        let xs: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64).collect();
+        let narrow = bootstrap_ci(&xs, mean, 0.5, 1000, 9).unwrap();
+        let wide = bootstrap_ci(&xs, mean, 0.99, 1000, 9).unwrap();
+        assert!(wide.hi - wide.lo >= narrow.hi - narrow.lo);
+    }
+}

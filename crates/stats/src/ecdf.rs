@@ -1,0 +1,194 @@
+//! Exact empirical cumulative distribution function.
+
+use serde::{Deserialize, Serialize};
+
+/// Empirical CDF over a finite sample, as plotted in the paper's Figure 3
+/// ("Cumulative probability distribution of Total transfer time").
+///
+/// Construction sorts the samples once (`O(n log n)`); evaluation and
+/// quantile queries are then `O(log n)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples. Returns `None` when the input is empty or
+    /// contains NaN (a NaN completion time indicates a harness bug and must
+    /// not silently poison quantiles).
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() || samples.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Some(Ecdf { sorted })
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction rejects empty inputs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The sorted sample values.
+    #[inline]
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Smallest sample.
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample — `T_worst` in the paper's terminology.
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.sorted[self.sorted.len() - 1]
+    }
+
+    /// `F(x)`: fraction of samples ≤ `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.sorted.len();
+        // partition_point returns the count of elements <= x because the
+        // array is sorted and the predicate is monotone.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / n as f64
+    }
+
+    /// Linearly-interpolated quantile (type-7, the R/NumPy default).
+    /// `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let h = q * (n - 1) as f64;
+        let lo = h.floor() as usize;
+        let hi = h.ceil() as usize;
+        if lo == hi {
+            self.sorted[lo]
+        } else {
+            let w = h - lo as f64;
+            self.sorted[lo] * (1.0 - w) + self.sorted[hi] * w
+        }
+    }
+
+    /// Nearest-rank quantile (no interpolation): the smallest sample `v`
+    /// such that at least `q·n` samples are ≤ `v`.
+    pub fn quantile_nearest_rank(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * n as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// The `(x, F(x))` step points, ready for plotting Figure 3.
+    pub fn curve(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// Median shorthand.
+    #[inline]
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(Ecdf::from_samples(&[]).is_none());
+        assert!(Ecdf::from_samples(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn eval_steps() {
+        let e = Ecdf::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn interpolated_quantiles() {
+        let e = Ecdf::from_samples(&[10.0, 20.0, 30.0, 40.0, 50.0]).unwrap();
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.quantile(0.25), 20.0);
+        assert_eq!(e.quantile(0.5), 30.0);
+        assert_eq!(e.quantile(1.0), 50.0);
+        // Between ranks: interpolate.
+        assert!((e.quantile(0.1) - 14.0).abs() < 1e-12);
+        assert_eq!(e.median(), 30.0);
+    }
+
+    #[test]
+    fn nearest_rank_quantiles() {
+        let e = Ecdf::from_samples(&[10.0, 20.0, 30.0, 40.0, 50.0]).unwrap();
+        assert_eq!(e.quantile_nearest_rank(0.0), 10.0);
+        assert_eq!(e.quantile_nearest_rank(0.2), 10.0);
+        assert_eq!(e.quantile_nearest_rank(0.21), 20.0);
+        assert_eq!(e.quantile_nearest_rank(1.0), 50.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let e = Ecdf::from_samples(&[7.0]).unwrap();
+        assert_eq!(e.quantile(0.3), 7.0);
+        assert_eq!(e.min(), 7.0);
+        assert_eq!(e.max(), 7.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let e = Ecdf::from_samples(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(e.samples(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn curve_reaches_one() {
+        let e = Ecdf::from_samples(&[0.2, 0.5, 5.0]).unwrap();
+        let c = e.curve();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.last().unwrap().1, 1.0);
+        assert_eq!(c[0], (0.2, 1.0 / 3.0));
+    }
+
+    #[test]
+    fn q_clamped() {
+        let e = Ecdf::from_samples(&[1.0, 2.0]).unwrap();
+        assert_eq!(e.quantile(-0.5), 1.0);
+        assert_eq!(e.quantile(1.5), 2.0);
+    }
+
+    #[test]
+    fn long_tail_p99_exceeds_p50() {
+        // Synthetic long-tail sample like Figure 3: mostly fast, few slow.
+        let mut xs = vec![0.2; 95];
+        xs.extend_from_slice(&[1.0, 2.0, 3.0, 5.0, 8.0]);
+        let e = Ecdf::from_samples(&xs).unwrap();
+        assert!(e.quantile(0.99) > 10.0 * e.quantile(0.5));
+    }
+}

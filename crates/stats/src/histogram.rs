@@ -1,0 +1,240 @@
+//! Fixed-bucket histograms with linear or logarithmic spacing.
+
+use serde::{Deserialize, Serialize};
+
+/// One histogram bucket: `[lo, hi)` with an occupancy count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Exclusive upper edge (the final bucket includes its upper edge).
+    pub hi: f64,
+    /// Number of recorded samples falling in the bucket.
+    pub count: u64,
+}
+
+/// Bucketing strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Spacing {
+    Linear,
+    Log,
+}
+
+/// A histogram over `[lo, hi]` with a fixed number of buckets, plus
+/// underflow/overflow counters. Log spacing suits transfer-time data whose
+/// tail spans orders of magnitude (0.16 s theoretical to >5 s congested).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    spacing: Spacing,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Linearly spaced buckets over `[lo, hi]`.
+    ///
+    /// Returns `None` when `lo >= hi`, `buckets == 0`, or bounds are not
+    /// finite.
+    pub fn linear(lo: f64, hi: f64, buckets: usize) -> Option<Self> {
+        if !(lo.is_finite() && hi.is_finite()) || lo >= hi || buckets == 0 {
+            return None;
+        }
+        Some(Histogram {
+            lo,
+            hi,
+            spacing: Spacing::Linear,
+            counts: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Logarithmically spaced buckets over `[lo, hi]`; requires `0 < lo < hi`.
+    pub fn log(lo: f64, hi: f64, buckets: usize) -> Option<Self> {
+        if !(lo.is_finite() && hi.is_finite()) || lo <= 0.0 || lo >= hi || buckets == 0 {
+            return None;
+        }
+        Some(Histogram {
+            lo,
+            hi,
+            spacing: Spacing::Log,
+            counts: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Number of buckets (excluding under/overflow).
+    #[inline]
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Index of the bucket that would hold `x`, or `None` for out-of-range.
+    fn index_of(&self, x: f64) -> Option<usize> {
+        if x < self.lo {
+            return None;
+        }
+        if x > self.hi {
+            return None;
+        }
+        let n = self.counts.len();
+        let frac = match self.spacing {
+            Spacing::Linear => (x - self.lo) / (self.hi - self.lo),
+            Spacing::Log => (x / self.lo).ln() / (self.hi / self.lo).ln(),
+        };
+        // x == hi maps to the last bucket (closed upper edge).
+        Some(((frac * n as f64) as usize).min(n - 1))
+    }
+
+    /// Record one sample. NaN counts as overflow (it is out of any range).
+    pub fn record(&mut self, x: f64) {
+        if x.is_nan() || x > self.hi {
+            self.overflow += 1;
+        } else if x < self.lo {
+            self.underflow += 1;
+        } else if let Some(i) = self.index_of(x) {
+            self.counts[i] += 1;
+        }
+    }
+
+    /// Total samples recorded, including under/overflow.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Samples below the histogram range.
+    #[inline]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples above the histogram range (or NaN).
+    #[inline]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Bucket edges and counts, for rendering.
+    pub fn iter_buckets(&self) -> impl Iterator<Item = HistogramBucket> + '_ {
+        let n = self.counts.len();
+        (0..n).map(move |i| {
+            let (lo, hi) = match self.spacing {
+                Spacing::Linear => {
+                    let w = (self.hi - self.lo) / n as f64;
+                    (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+                }
+                Spacing::Log => {
+                    let ratio = (self.hi / self.lo).powf(1.0 / n as f64);
+                    (self.lo * ratio.powi(i as i32), self.lo * ratio.powi(i as i32 + 1))
+                }
+            };
+            HistogramBucket {
+                lo,
+                hi,
+                count: self.counts[i],
+            }
+        })
+    }
+
+    /// Merge another histogram with identical geometry.
+    ///
+    /// # Panics
+    /// Panics when the geometries differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo
+                && self.hi == other.hi
+                && self.spacing == other.spacing
+                && self.counts.len() == other.counts.len(),
+            "histogram geometry mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        assert!(Histogram::linear(1.0, 1.0, 4).is_none());
+        assert!(Histogram::linear(2.0, 1.0, 4).is_none());
+        assert!(Histogram::linear(0.0, 1.0, 0).is_none());
+        assert!(Histogram::log(0.0, 1.0, 4).is_none());
+        assert!(Histogram::log(-1.0, 1.0, 4).is_none());
+        assert!(Histogram::linear(f64::NAN, 1.0, 4).is_none());
+    }
+
+    #[test]
+    fn linear_bucketing() {
+        let mut h = Histogram::linear(0.0, 10.0, 5).unwrap();
+        for x in [0.0, 1.9, 2.0, 5.5, 9.99, 10.0] {
+            h.record(x);
+        }
+        let counts: Vec<u64> = h.iter_buckets().map(|b| b.count).collect();
+        assert_eq!(counts, vec![2, 1, 1, 0, 2]);
+        assert_eq!(h.total_count(), 6);
+    }
+
+    #[test]
+    fn under_over_flow() {
+        let mut h = Histogram::linear(0.0, 1.0, 2).unwrap();
+        h.record(-0.1);
+        h.record(1.1);
+        h.record(f64::NAN);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total_count(), 3);
+    }
+
+    #[test]
+    fn log_bucketing_decades() {
+        let mut h = Histogram::log(0.01, 100.0, 4).unwrap();
+        // Decade edges: 0.01, 0.1, 1, 10, 100.
+        for x in [0.05, 0.5, 5.0, 50.0] {
+            h.record(x);
+        }
+        let buckets: Vec<HistogramBucket> = h.iter_buckets().collect();
+        assert!(buckets.iter().all(|b| b.count == 1));
+        assert!((buckets[0].hi - 0.1).abs() < 1e-9);
+        assert!((buckets[3].lo - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn upper_edge_included() {
+        let mut h = Histogram::linear(0.0, 1.0, 10).unwrap();
+        h.record(1.0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.iter_buckets().last().unwrap().count, 1);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::linear(0.0, 1.0, 2).unwrap();
+        let mut b = Histogram::linear(0.0, 1.0, 2).unwrap();
+        a.record(0.25);
+        b.record(0.75);
+        b.record(2.0);
+        a.merge(&b);
+        let counts: Vec<u64> = a.iter_buckets().map(|x| x.count).collect();
+        assert_eq!(counts, vec![1, 1]);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn merge_rejects_mismatch() {
+        let mut a = Histogram::linear(0.0, 1.0, 2).unwrap();
+        let b = Histogram::linear(0.0, 2.0, 2).unwrap();
+        a.merge(&b);
+    }
+}

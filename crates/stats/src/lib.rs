@@ -1,0 +1,108 @@
+//! Tail-latency statistics for the stream-score measurement framework.
+//!
+//! The paper's central methodological argument is that **average-oriented
+//! measurement misleads**: "optimizing for maximum average throughput while
+//! ignoring tail latency leads to systematic failures in time-sensitive
+//! applications" (§1), and Figure 3 shows flow-completion times whose P90
+//! and P99 grow non-linearly. This crate provides the estimators the
+//! measurement methodology needs:
+//!
+//! * [`Summary`] — streaming count/mean/variance/min/max (Welford).
+//! * [`Ecdf`] — exact empirical CDF with interpolated and nearest-rank
+//!   quantiles (Figure 3).
+//! * [`P2Quantile`] — constant-memory streaming quantile estimator (the P²
+//!   algorithm), for monitoring quantiles on unbounded streams.
+//! * [`Histogram`] — linear or logarithmic bucketing.
+//! * [`TailMetrics`] — the P50/P90/P99/max digest the paper reports.
+//! * [`bootstrap_ci`] — seeded bootstrap confidence intervals for the
+//!   worst-case estimators.
+//! * [`RateSeries`] — interface-counter style byte accounting, producing
+//!   the measured-utilization axis of Figure 2.
+
+mod bootstrap;
+mod ecdf;
+mod fit;
+mod histogram;
+mod p2;
+mod reservoir;
+mod summary;
+mod tail;
+mod timeseries;
+
+pub use bootstrap::{bootstrap_ci, BootstrapCi};
+pub use ecdf::Ecdf;
+pub use fit::{ExponentialFit, LinearFit};
+pub use histogram::{Histogram, HistogramBucket};
+pub use p2::P2Quantile;
+pub use reservoir::Reservoir;
+pub use summary::Summary;
+pub use tail::TailMetrics;
+pub use timeseries::RateSeries;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any quantile of an ECDF lies within [min, max] of the data.
+        #[test]
+        fn quantile_bounded(mut xs in proptest::collection::vec(-1e9f64..1e9, 1..200), q in 0.0f64..=1.0) {
+            let ecdf = Ecdf::from_samples(&xs).unwrap();
+            let v = ecdf.quantile(q);
+            xs.sort_by(f64::total_cmp);
+            prop_assert!(v >= xs[0] - 1e-9);
+            prop_assert!(v <= xs[xs.len() - 1] + 1e-9);
+        }
+
+        /// Quantiles are monotone non-decreasing in q.
+        #[test]
+        fn quantile_monotone(xs in proptest::collection::vec(-1e9f64..1e9, 1..200),
+                             q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            let ecdf = Ecdf::from_samples(&xs).unwrap();
+            prop_assert!(ecdf.quantile(lo) <= ecdf.quantile(hi) + 1e-9);
+        }
+
+        /// The ECDF evaluated at any point lies in [0, 1] and is monotone.
+        #[test]
+        fn ecdf_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+                         a in -2e6f64..2e6, b in -2e6f64..2e6) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let ecdf = Ecdf::from_samples(&xs).unwrap();
+            let fa = ecdf.eval(lo);
+            let fb = ecdf.eval(hi);
+            prop_assert!((0.0..=1.0).contains(&fa));
+            prop_assert!((0.0..=1.0).contains(&fb));
+            prop_assert!(fa <= fb);
+        }
+
+        /// Welford mean matches the naive mean.
+        #[test]
+        fn summary_mean_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+            let mut s = Summary::new();
+            for &x in &xs { s.record(x); }
+            let naive = xs.iter().sum::<f64>() / xs.len() as f64;
+            prop_assert!((s.mean() - naive).abs() < 1e-6 * (1.0 + naive.abs()));
+        }
+
+        /// P² estimates stay within the observed range.
+        #[test]
+        fn p2_within_range(xs in proptest::collection::vec(0.0f64..1e6, 5..500), q in 0.01f64..0.99) {
+            let mut p2 = P2Quantile::new(q);
+            for &x in &xs { p2.record(x); }
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let est = p2.estimate().unwrap();
+            prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9);
+        }
+
+        /// Histogram buckets partition the sample count exactly.
+        #[test]
+        fn histogram_counts_partition(xs in proptest::collection::vec(0.0f64..100.0, 1..300)) {
+            let mut h = Histogram::linear(0.0, 100.0, 10).unwrap();
+            for &x in &xs { h.record(x); }
+            prop_assert_eq!(h.total_count(), xs.len() as u64);
+        }
+    }
+}

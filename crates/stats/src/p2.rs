@@ -1,0 +1,224 @@
+//! The P² (piecewise-parabolic) streaming quantile estimator.
+//!
+//! Jain & Chlamtac (1985): estimates a single quantile of an unbounded
+//! stream with five markers and no stored samples. The measurement
+//! framework uses it to watch P99 transfer time live while an experiment
+//! runs, without waiting for the full [`crate::Ecdf`].
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming estimator for one quantile `q` using constant memory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimated quantile positions).
+    heights: [f64; 5],
+    /// Marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired-position increments per observation.
+    increments: [f64; 5],
+    /// Number of observations so far.
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Create an estimator for quantile `q ∈ (0, 1)`.
+    ///
+    /// # Panics
+    /// Panics when `q` is outside `(0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1), got {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The target quantile.
+    #[inline]
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations recorded.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_by(f64::total_cmp);
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find cell k such that heights[k] <= x < heights[k+1].
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                let new_h = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = new_h;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic (P²) interpolation for marker `i` moved by `d`.
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let h = &self.heights;
+        let n = &self.positions;
+        h[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    /// Linear fallback interpolation.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate; `None` until at least one sample has arrived.
+    /// With fewer than five samples, returns the exact sample quantile.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n @ 1..=4 => {
+                let mut v = self.heights[..n].to_vec();
+                v.sort_by(f64::total_cmp);
+                let h = self.q * (n - 1) as f64;
+                let lo = h.floor() as usize;
+                let hi = h.ceil() as usize;
+                let w = h - lo as f64;
+                Some(v[lo] * (1.0 - w) + v[hi] * w)
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1)")]
+    fn rejects_q_out_of_range() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn empty_has_no_estimate() {
+        assert_eq!(P2Quantile::new(0.5).estimate(), None);
+    }
+
+    #[test]
+    fn small_sample_exact() {
+        let mut p = P2Quantile::new(0.5);
+        p.record(3.0);
+        p.record(1.0);
+        assert!((p.estimate().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_of_uniform_converges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut p = P2Quantile::new(0.5);
+        for _ in 0..20_000 {
+            p.record(rng.random_range(0.0..1.0));
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.02, "median estimate {est}");
+    }
+
+    #[test]
+    fn p99_of_uniform_converges() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut p = P2Quantile::new(0.99);
+        for _ in 0..50_000 {
+            p.record(rng.random_range(0.0..1.0));
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 0.99).abs() < 0.01, "p99 estimate {est}");
+    }
+
+    #[test]
+    fn heavy_tail_p90() {
+        // Pareto-ish tail: x = u^(-1/2) has P90 = 10^(1/2) ≈ 3.1623.
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut p = P2Quantile::new(0.9);
+        for _ in 0..100_000 {
+            let u: f64 = rng.random_range(0.0f64..1.0);
+            p.record((1.0 - u).powf(-0.5));
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 10f64.sqrt()).abs() < 0.25, "p90 estimate {est}");
+    }
+
+    #[test]
+    fn count_tracks_records() {
+        let mut p = P2Quantile::new(0.5);
+        for i in 0..10 {
+            p.record(i as f64);
+        }
+        assert_eq!(p.count(), 10);
+        assert_eq!(p.q(), 0.5);
+    }
+
+    #[test]
+    fn constant_stream() {
+        let mut p = P2Quantile::new(0.9);
+        for _ in 0..100 {
+            p.record(4.2);
+        }
+        assert!((p.estimate().unwrap() - 4.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,193 @@
+//! Fixed-memory uniform sampling of unbounded streams.
+//!
+//! A long-running measurement campaign (the paper's §6 envisions
+//! continuous facility monitoring) cannot retain every transfer time;
+//! Algorithm R keeps a uniform sample of bounded size from which the
+//! ECDF/quantiles can still be estimated without bias.
+
+use serde::{Deserialize, Serialize};
+
+/// Reservoir sampler (Vitter's Algorithm R): after `n` observations the
+/// reservoir holds a uniform random subset of size `min(n, capacity)`.
+///
+/// Uses an internal SplitMix64 stream, so the sampler is `Clone`,
+/// serializable, and bitwise reproducible for a given seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reservoir {
+    capacity: usize,
+    seen: u64,
+    samples: Vec<f64>,
+    state: u64,
+    seed: u64,
+}
+
+impl Reservoir {
+    /// Create a reservoir holding up to `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir {
+            capacity,
+            seen: 0,
+            samples: Vec::with_capacity(capacity.min(1024)),
+            state: seed,
+            seed,
+        }
+    }
+
+    /// Next SplitMix64 output.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Unbiased uniform draw from `[0, bound)` via rejection sampling.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = u64::MAX - u64::MAX % bound;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Observe one value.
+    pub fn record(&mut self, x: f64) {
+        self.seen += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(x);
+        } else {
+            // Replace a random slot with probability capacity/seen.
+            let j = self.next_below(self.seen);
+            if (j as usize) < self.capacity {
+                self.samples[j as usize] = x;
+            }
+        }
+    }
+
+    /// Number of observations seen (not retained).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The retained sample.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// The seed this reservoir was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Estimate a quantile from the retained sample; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        crate::Ecdf::from_samples(&self.samples).map(|e| e.quantile(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Reservoir::new(0, 1);
+    }
+
+    #[test]
+    fn fills_then_caps() {
+        let mut r = Reservoir::new(10, 1);
+        for i in 0..25 {
+            r.record(i as f64);
+        }
+        assert_eq!(r.seen(), 25);
+        assert_eq!(r.samples().len(), 10);
+    }
+
+    #[test]
+    fn small_stream_retained_exactly() {
+        let mut r = Reservoir::new(100, 2);
+        for i in 0..7 {
+            r.record(i as f64);
+        }
+        assert_eq!(r.samples(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(r.quantile(0.0), Some(0.0));
+        assert_eq!(r.quantile(1.0), Some(6.0));
+    }
+
+    #[test]
+    fn uniformity_of_retention() {
+        // Stream 0..1000 into a 100-slot reservoir many times; the mean
+        // of retained values should approach the stream mean (499.5).
+        let mut grand = 0.0;
+        let mut count = 0usize;
+        for seed in 0..30 {
+            let mut r = Reservoir::new(100, seed);
+            for i in 0..1000 {
+                r.record(i as f64);
+            }
+            grand += r.samples().iter().sum::<f64>();
+            count += r.samples().len();
+        }
+        let mean = grand / count as f64;
+        assert!(
+            (mean - 499.5).abs() < 25.0,
+            "reservoir retention biased: mean {mean}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut r = Reservoir::new(50, seed);
+            for i in 0..500 {
+                r.record((i * 7 % 97) as f64);
+            }
+            r.samples().to_vec()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn empty_reservoir_has_no_quantiles() {
+        let r = Reservoir::new(5, 1);
+        assert!(r.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn quantile_estimates_track_distribution() {
+        let mut r = Reservoir::new(500, 3);
+        for i in 0..100_000u64 {
+            // Uniform over [0, 100).
+            r.record((i.wrapping_mul(2654435761) % 100_000) as f64 / 1000.0);
+        }
+        let p50 = r.quantile(0.5).unwrap();
+        assert!((p50 - 50.0).abs() < 6.0, "p50 estimate {p50}");
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_stream() {
+        let mut a = Reservoir::new(10, 5);
+        for i in 0..100 {
+            a.record(i as f64);
+        }
+        let json = serde_json::to_string(&a).unwrap();
+        let mut b: Reservoir = serde_json::from_str(&json).unwrap();
+        // Continuing both must stay identical (state round-trips).
+        for i in 100..200 {
+            a.record(i as f64);
+            b.record(i as f64);
+        }
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,158 @@
+//! Typed physical quantities for the stream-score model.
+//!
+//! The decision model of *To Stream or Not to Stream* (SC-W '25) mixes
+//! quantities with easily-confused units: data sizes in GB, bandwidths in
+//! Gb/s *and* GB/s, compute rates in TFLOPS, computational intensity in
+//! FLOP/GB, and times in seconds. The paper's own case study trips over
+//! exactly this distinction ("4 GB/s (32 Gbps) would be unfeasible because
+//! it is higher than our link capacity of 25 Gbps") — so this crate makes
+//! every quantity a distinct type and lets the compiler reject unit errors.
+//!
+//! All quantities are thin `f64` newtypes with zero runtime overhead.
+//! Cross-type arithmetic produces the dimensionally-correct result type:
+//!
+//! ```
+//! use sss_units::{Bytes, Rate, TimeDelta};
+//!
+//! let size = Bytes::from_gb(0.5);
+//! let link = Rate::from_gbps(25.0);          // 25 gigabit/s
+//! let t: TimeDelta = size / link;            // transmission time
+//! assert!((t.as_secs() - 0.16).abs() < 1e-12);
+//! ```
+//!
+//! Quantities parse from the notations used in the paper:
+//!
+//! ```
+//! use sss_units::{Bytes, Rate, FlopRate};
+//!
+//! let s: Bytes = "0.5 GB".parse().unwrap();
+//! let bw: Rate = "25 Gbps".parse().unwrap();
+//! let tf: FlopRate = "34 TF".parse().unwrap();
+//! assert_eq!(s, Bytes::from_gb(0.5));
+//! assert_eq!(bw, Rate::from_gbps(25.0));
+//! assert_eq!(tf, FlopRate::from_tflops(34.0));
+//! ```
+
+mod bytes;
+mod flops;
+mod parse;
+mod rate;
+mod ratio;
+mod time;
+
+pub use bytes::Bytes;
+pub use flops::{ComputeIntensity, FlopRate, Flops};
+pub use parse::UnitParseError;
+pub use rate::Rate;
+pub use ratio::Ratio;
+pub use time::TimeDelta;
+
+/// Decimal kilo multiplier (10^3), used for data sizes and rates.
+pub const KILO: f64 = 1e3;
+/// Decimal mega multiplier (10^6).
+pub const MEGA: f64 = 1e6;
+/// Decimal giga multiplier (10^9).
+pub const GIGA: f64 = 1e9;
+/// Decimal tera multiplier (10^12).
+pub const TERA: f64 = 1e12;
+/// Decimal peta multiplier (10^15).
+pub const PETA: f64 = 1e15;
+
+/// Binary kibi multiplier (2^10).
+pub const KIBI: f64 = 1024.0;
+/// Binary mebi multiplier (2^20).
+pub const MEBI: f64 = 1024.0 * 1024.0;
+/// Binary gibi multiplier (2^30).
+pub const GIBI: f64 = 1024.0 * 1024.0 * 1024.0;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Dimensional round trip: (S / R) · R == S.
+        #[test]
+        fn bytes_rate_time_roundtrip(gb in 1e-6f64..1e3, gbps in 1e-3f64..1e3) {
+            let s = Bytes::from_gb(gb);
+            let r = Rate::from_gbps(gbps);
+            let t: TimeDelta = s / r;
+            let back: Bytes = r * t;
+            prop_assert!((back.as_b() - s.as_b()).abs() <= 1e-9 * s.as_b());
+        }
+
+        /// Work round trip: (C·S) / R_flops · R_flops == C·S.
+        #[test]
+        fn flops_roundtrip(tf_per_gb in 1e-3f64..1e3, gb in 1e-3f64..1e3, tflops in 1e-3f64..1e4) {
+            let work = ComputeIntensity::from_tflop_per_gb(tf_per_gb) * Bytes::from_gb(gb);
+            let rate = FlopRate::from_tflops(tflops);
+            let t = work / rate;
+            let back = rate * t;
+            prop_assert!((back.as_flop() - work.as_flop()).abs() <= 1e-9 * work.as_flop());
+        }
+
+        /// Display/parse round trip for data sizes within format precision.
+        #[test]
+        fn bytes_parse_display_roundtrip(b in 1.0f64..1e15) {
+            let original = Bytes::from_b(b);
+            let parsed: Bytes = original.to_string().parse().unwrap();
+            // Display keeps 3 decimals of the scaled value: relative
+            // error bounded by ~0.1% of the displayed unit.
+            prop_assert!((parsed.as_b() - original.as_b()).abs() <= 1e-3 * original.as_b().max(1.0));
+        }
+
+        /// Rate parsing honors the bit/byte distinction everywhere.
+        #[test]
+        fn rate_bits_are_an_eighth_of_bytes(v in 1e-3f64..1e4) {
+            let bits: Rate = format!("{v} Gbps").parse().unwrap();
+            let bytes: Rate = format!("{v} GB/s").parse().unwrap();
+            prop_assert!((bytes.as_bytes_per_sec() / bits.as_bytes_per_sec() - 8.0).abs() < 1e-9);
+        }
+
+        /// Ordering is consistent with subtraction sign for times.
+        #[test]
+        fn time_ordering_consistent(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+            let ta = TimeDelta::from_secs(a);
+            let tb = TimeDelta::from_secs(b);
+            prop_assert_eq!(ta < tb, (ta - tb).is_sign_negative() && a != b);
+        }
+
+        /// Ratio algebra: (x · r) / r == x for non-zero ratios.
+        #[test]
+        fn ratio_scale_unscale(x in 1e-6f64..1e6, r in 1e-6f64..1e6) {
+            let scaled = Ratio::new(x) * Ratio::new(r) / Ratio::new(r);
+            prop_assert!((scaled.value() - x).abs() <= 1e-9 * x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_theoretical_transfer_time() {
+        // Section 4.1: "theoretical transfer time for 0.5 GB at 25 Gbps is
+        // 0.16 seconds".
+        let t = Bytes::from_gb(0.5) / Rate::from_gbps(25.0);
+        assert!((t.as_secs() - 0.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_gbps_vs_gbyte_per_sec() {
+        // Section 5: 4 GB/s is 32 Gbps, which exceeds a 25 Gbps link.
+        let demand = Rate::from_gigabytes_per_sec(4.0);
+        let link = Rate::from_gbps(25.0);
+        assert!(demand > link);
+        assert!((demand.as_gbps() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aps_scan_size() {
+        // Section 4.2: 1,440 frames of 2048x2048 2-byte pixels.
+        let frame = Bytes::from_b((2048 * 2048 * 2) as f64);
+        let scan = frame * 1440.0;
+        // ~12.1 decimal GB (the paper rounds to "approximately 12.6 GB").
+        assert!((scan.as_gb() - 12.0795).abs() < 1e-3);
+    }
+}

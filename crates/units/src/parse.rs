@@ -1,0 +1,287 @@
+//! String parsing for quantities in the notations used by the paper and by
+//! facility documentation: `"0.5 GB"`, `"25 Gbps"`, `"34 TF"`, `"16 ms"`,
+//! `"17 TF/GB"`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{Bytes, ComputeIntensity, FlopRate, Flops, Rate, Ratio, TimeDelta};
+
+/// Error produced when a quantity string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitParseError {
+    input: String,
+    expected: &'static str,
+}
+
+impl UnitParseError {
+    fn new(input: &str, expected: &'static str) -> Self {
+        UnitParseError {
+            input: input.to_owned(),
+            expected,
+        }
+    }
+}
+
+impl fmt::Display for UnitParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot parse {:?} as {}; expected e.g. \"<number> <unit>\"",
+            self.input, self.expected
+        )
+    }
+}
+
+impl std::error::Error for UnitParseError {}
+
+/// Split `"12.6 GB"` (or `"12.6GB"`) into the numeric part and unit suffix.
+fn split_number_unit(s: &str) -> Option<(f64, &str)> {
+    let s = s.trim();
+    let split = s
+        .char_indices()
+        .find(|(_, c)| !(c.is_ascii_digit() || *c == '.' || *c == '-' || *c == '+' || *c == 'e' || *c == 'E'))
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    // A trailing exponent letter with no digits after it ("2e") should fail
+    // in f64::parse, which is the behaviour we want.
+    let (num, unit) = s.split_at(split);
+    let value: f64 = num.trim().parse().ok()?;
+    Some((value, unit.trim()))
+}
+
+impl FromStr for Bytes {
+    type Err = UnitParseError;
+
+    /// Parse data sizes: `B`, `kB/KB`, `MB`, `GB`, `TB`, `PB` (decimal) and
+    /// `KiB`, `MiB`, `GiB` (binary). Unit matching ignores case except for
+    /// the binary `i` infix.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || UnitParseError::new(s, "data size (e.g. \"0.5 GB\")");
+        let (v, unit) = split_number_unit(s).ok_or_else(err)?;
+        if unit.contains('i') || unit.contains('I') {
+            return match unit.to_ascii_lowercase().as_str() {
+                "kib" => Ok(Bytes::from_kib(v)),
+                "mib" => Ok(Bytes::from_mib(v)),
+                "gib" => Ok(Bytes::from_gib(v)),
+                _ => Err(err()),
+            };
+        }
+        match unit.to_ascii_lowercase().as_str() {
+            "b" | "byte" | "bytes" | "" => Ok(Bytes::from_b(v)),
+            "kb" => Ok(Bytes::from_kb(v)),
+            "mb" => Ok(Bytes::from_mb(v)),
+            "gb" => Ok(Bytes::from_gb(v)),
+            "tb" => Ok(Bytes::from_tb(v)),
+            "pb" => Ok(Bytes::from_pb(v)),
+            _ => Err(err()),
+        }
+    }
+}
+
+impl FromStr for TimeDelta {
+    type Err = UnitParseError;
+
+    /// Parse time spans: `ns`, `us`/`µs`, `ms`, `s`, `min`, `h`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || UnitParseError::new(s, "time span (e.g. \"16 ms\")");
+        let (v, unit) = split_number_unit(s).ok_or_else(err)?;
+        match unit.to_lowercase().as_str() {
+            "ns" => Ok(TimeDelta::from_nanos(v)),
+            "us" | "µs" | "μs" => Ok(TimeDelta::from_micros(v)),
+            "ms" => Ok(TimeDelta::from_millis(v)),
+            "s" | "sec" | "secs" | "" => Ok(TimeDelta::from_secs(v)),
+            "min" | "m" => Ok(TimeDelta::from_minutes(v)),
+            "h" | "hr" | "hour" | "hours" => Ok(TimeDelta::from_hours(v)),
+            _ => Err(err()),
+        }
+    }
+}
+
+impl FromStr for Rate {
+    type Err = UnitParseError;
+
+    /// Parse data rates. Bit-oriented units use lowercase `b` (`Gbps`,
+    /// `Gb/s`); byte-oriented units use uppercase `B` (`GB/s`, `GBps`, also
+    /// `MB/s` etc.). This is the convention the paper relies on when it
+    /// contrasts "4 GB/s (32 Gbps)".
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || UnitParseError::new(s, "data rate (e.g. \"25 Gbps\" or \"2 GB/s\")");
+        let (v, unit) = split_number_unit(s).ok_or_else(err)?;
+        let compact: String = unit.chars().filter(|c| *c != '/' && *c != ' ').collect();
+        // Preserve case to distinguish bits from bytes; normalize the tail.
+        match compact.as_str() {
+            "bps" | "bs" => Ok(Rate::from_bits_per_sec(v)),
+            "kbps" | "kbs" => Ok(Rate::from_kbps(v)),
+            "Mbps" | "Mbs" => Ok(Rate::from_mbps(v)),
+            "Gbps" | "Gbs" => Ok(Rate::from_gbps(v)),
+            "Tbps" | "Tbs" => Ok(Rate::from_tbps(v)),
+            "Bps" | "Bs" => Ok(Rate::from_bytes_per_sec(v)),
+            "kBps" | "kBs" | "KBps" | "KBs" => Ok(Rate::from_bytes_per_sec(v * 1e3)),
+            "MBps" | "MBs" => Ok(Rate::from_megabytes_per_sec(v)),
+            "GBps" | "GBs" => Ok(Rate::from_gigabytes_per_sec(v)),
+            "TBps" | "TBs" => Ok(Rate::from_terabytes_per_sec(v)),
+            _ => Err(err()),
+        }
+    }
+}
+
+impl FromStr for Flops {
+    type Err = UnitParseError;
+
+    /// Parse work amounts: `FLOP`, `GF`, `TF`, `PF` (and `GFLOP` etc.).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || UnitParseError::new(s, "work amount (e.g. \"34 TF\")");
+        let (v, unit) = split_number_unit(s).ok_or_else(err)?;
+        match unit.to_ascii_uppercase().as_str() {
+            "FLOP" | "F" | "" => Ok(Flops::from_flop(v)),
+            "GF" | "GFLOP" => Ok(Flops::from_gflop(v)),
+            "TF" | "TFLOP" => Ok(Flops::from_tflop(v)),
+            "PF" | "PFLOP" => Ok(Flops::from_pflop(v)),
+            _ => Err(err()),
+        }
+    }
+}
+
+impl FromStr for FlopRate {
+    type Err = UnitParseError;
+
+    /// Parse compute rates: `FLOPS`, `MFLOPS`, `GFLOPS`, `TFLOPS`, `PFLOPS`,
+    /// and the paper's shorthand `TF`/`PF` (Table 3 quotes compute power for
+    /// one second of data, so `TF` reads naturally as `TFLOPS` here too).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || UnitParseError::new(s, "compute rate (e.g. \"34 TFLOPS\")");
+        let (v, unit) = split_number_unit(s).ok_or_else(err)?;
+        match unit.to_ascii_uppercase().as_str() {
+            "FLOPS" | "" => Ok(FlopRate::from_flops(v)),
+            "MFLOPS" => Ok(FlopRate::from_mflops(v)),
+            "GFLOPS" | "GF" => Ok(FlopRate::from_gflops(v)),
+            "TFLOPS" | "TF" => Ok(FlopRate::from_tflops(v)),
+            "PFLOPS" | "PF" => Ok(FlopRate::from_pflops(v)),
+            _ => Err(err()),
+        }
+    }
+}
+
+impl FromStr for ComputeIntensity {
+    type Err = UnitParseError;
+
+    /// Parse computational intensity: `FLOP/GB`, `TF/GB`, `FLOP/B`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || UnitParseError::new(s, "compute intensity (e.g. \"17 TF/GB\")");
+        let (v, unit) = split_number_unit(s).ok_or_else(err)?;
+        let compact: String = unit.chars().filter(|c| !c.is_whitespace()).collect();
+        match compact.to_ascii_uppercase().as_str() {
+            "FLOP/B" | "F/B" => Ok(ComputeIntensity::from_flop_per_byte(v)),
+            "FLOP/GB" | "F/GB" => Ok(ComputeIntensity::from_flop_per_gb(v)),
+            "TF/GB" | "TFLOP/GB" => Ok(ComputeIntensity::from_tflop_per_gb(v)),
+            _ => Err(err()),
+        }
+    }
+}
+
+impl FromStr for Ratio {
+    type Err = UnitParseError;
+
+    /// Parse a ratio: bare number (`"0.8"`) or percentage (`"64%"`, `"64 %"`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || UnitParseError::new(s, "ratio (e.g. \"0.8\" or \"64%\")");
+        let t = s.trim();
+        if let Some(stripped) = t.strip_suffix('%') {
+            let v: f64 = stripped.trim().parse().map_err(|_| err())?;
+            Ok(Ratio::from_percent(v))
+        } else {
+            let v: f64 = t.parse().map_err(|_| err())?;
+            Ok(Ratio::new(v))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_bytes() {
+        assert_eq!("0.5 GB".parse::<Bytes>().unwrap(), Bytes::from_gb(0.5));
+        assert_eq!("1MB".parse::<Bytes>().unwrap(), Bytes::from_mb(1.0));
+        assert_eq!("2 KiB".parse::<Bytes>().unwrap(), Bytes::from_kib(2.0));
+        assert_eq!("40 TB".parse::<Bytes>().unwrap(), Bytes::from_tb(40.0));
+        assert_eq!("9000 B".parse::<Bytes>().unwrap(), Bytes::from_b(9000.0));
+        assert!("12 parsecs".parse::<Bytes>().is_err());
+    }
+
+    #[test]
+    fn parse_time() {
+        assert_eq!("16 ms".parse::<TimeDelta>().unwrap(), TimeDelta::from_millis(16.0));
+        assert_eq!("1 min".parse::<TimeDelta>().unwrap(), TimeDelta::from_secs(60.0));
+        assert_eq!("4 µs".parse::<TimeDelta>().unwrap(), TimeDelta::from_micros(4.0));
+        assert_eq!("10s".parse::<TimeDelta>().unwrap(), TimeDelta::from_secs(10.0));
+        assert!("10 fortnights".parse::<TimeDelta>().is_err());
+    }
+
+    #[test]
+    fn parse_rate_bits_vs_bytes() {
+        let gbit = "25 Gbps".parse::<Rate>().unwrap();
+        let gbyte = "25 GB/s".parse::<Rate>().unwrap();
+        assert_eq!(gbit, Rate::from_gbps(25.0));
+        assert_eq!(gbyte, Rate::from_gigabytes_per_sec(25.0));
+        assert!((gbyte.as_bytes_per_sec() / gbit.as_bytes_per_sec() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_rate_variants() {
+        assert_eq!("240 MB/s".parse::<Rate>().unwrap(), Rate::from_megabytes_per_sec(240.0));
+        assert_eq!("1 Tbps".parse::<Rate>().unwrap(), Rate::from_tbps(1.0));
+        assert_eq!("100 Mbps".parse::<Rate>().unwrap(), Rate::from_mbps(100.0));
+        assert_eq!("2 GBps".parse::<Rate>().unwrap(), Rate::from_gigabytes_per_sec(2.0));
+        assert!("5 furlongs/s".parse::<Rate>().is_err());
+    }
+
+    #[test]
+    fn parse_flops_and_rates() {
+        assert_eq!("34 TF".parse::<Flops>().unwrap(), Flops::from_tflop(34.0));
+        assert_eq!("20 TFLOPS".parse::<FlopRate>().unwrap(), FlopRate::from_tflops(20.0));
+        assert_eq!("1.5 PF".parse::<FlopRate>().unwrap(), FlopRate::from_pflops(1.5));
+    }
+
+    #[test]
+    fn parse_intensity() {
+        assert_eq!(
+            "17 TF/GB".parse::<ComputeIntensity>().unwrap(),
+            ComputeIntensity::from_tflop_per_gb(17.0)
+        );
+        assert_eq!(
+            "100 FLOP/B".parse::<ComputeIntensity>().unwrap(),
+            ComputeIntensity::from_flop_per_byte(100.0)
+        );
+    }
+
+    #[test]
+    fn parse_ratio() {
+        assert_eq!("0.8".parse::<Ratio>().unwrap(), Ratio::new(0.8));
+        assert_eq!("64%".parse::<Ratio>().unwrap(), Ratio::from_percent(64.0));
+        assert_eq!("64 %".parse::<Ratio>().unwrap(), Ratio::from_percent(64.0));
+        assert!("lots".parse::<Ratio>().is_err());
+    }
+
+    #[test]
+    fn error_message_names_input() {
+        let e = "xyz".parse::<Bytes>().unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("xyz"), "{msg}");
+        assert!(msg.contains("data size"), "{msg}");
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!("2e3 B".parse::<Bytes>().unwrap(), Bytes::from_kb(2.0));
+        assert_eq!("1e-3 s".parse::<TimeDelta>().unwrap(), TimeDelta::from_millis(1.0));
+    }
+
+    #[test]
+    fn negative_values_parse() {
+        // Differences of quantities are legitimate; parsing keeps the sign.
+        assert_eq!("-1 GB".parse::<Bytes>().unwrap(), Bytes::from_gb(-1.0));
+    }
+}

@@ -1,0 +1,45 @@
+//! Drive the packet-level simulator directly: put an increasing number of
+//! simultaneous 0.5 GB clients on the 25 Gbps testbed and watch worst-case
+//! completion times leave the real-time envelope — the measurement
+//! methodology of Section 4 in ~40 lines.
+//!
+//! ```text
+//! cargo run --release --example congestion_probe
+//! ```
+
+use stream_score::prelude::*;
+
+fn main() {
+    let theoretical = Bytes::from_gb(0.5) / Rate::from_gbps(25.0);
+    println!("theoretical transfer time for 0.5 GB at 25 Gbps: {theoretical}\n");
+    println!("{:>11} {:>12} {:>10} {:>10} {:>8}", "concurrency", "utilization", "worst", "p99", "SSS");
+
+    for concurrency in [1u32, 2, 4, 6, 8] {
+        let exp = Experiment {
+            config: SimConfig::paper_testbed(),
+            duration_s: 3,
+            concurrency,
+            parallel_flows: 8,
+            bytes_per_client: Bytes::from_gb(0.5),
+            strategy: SpawnStrategy::Simultaneous,
+            start_jitter: 0.002,
+            seed: 7,
+        };
+        let result = exp.run();
+        let tail = result.tail().expect("transfers completed");
+        let sss = result.streaming_speed_score().expect("worst case exists");
+        println!(
+            "{:>11} {:>11.1}% {:>9.2}s {:>9.2}s {:>8.1}",
+            concurrency,
+            result.utilization().as_percent(),
+            result.worst_transfer_time().unwrap().as_secs(),
+            tail.p99,
+            sss.value()
+        );
+    }
+
+    println!(
+        "\nreading: past ~90% utilization the worst case grows non-linearly — \
+         the regime the paper flags as unusable for time-sensitive analysis."
+    );
+}

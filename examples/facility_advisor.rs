@@ -1,0 +1,141 @@
+//! Facility advisor: read a workload description from a JSON file (or use
+//! the built-in demo config) and print a full recommendation — decision,
+//! break-even boundaries, tier feasibility under configurable congestion,
+//! and a Monte-Carlo view of variability.
+//!
+//! ```text
+//! cargo run --example facility_advisor               # demo config
+//! cargo run --example facility_advisor -- my.json    # your facility
+//! ```
+//!
+//! Config schema (units: GB, TFLOPS, Gbps):
+//! ```json
+//! {
+//!   "name": "my-beamline",
+//!   "data_unit_gb": 2.0,
+//!   "intensity_tflop_per_gb": 17.0,
+//!   "local_tflops": 10.0,
+//!   "remote_tflops": 340.0,
+//!   "bandwidth_gbps": 25.0,
+//!   "alpha": 0.8,
+//!   "theta": 1.0,
+//!   "expected_sss": 7.5
+//! }
+//! ```
+
+use serde::Deserialize;
+use stream_score::core::montecarlo::{MonteCarloOutcome, TransferEfficiencyDistribution};
+use stream_score::prelude::*;
+
+#[derive(Debug, Deserialize)]
+struct FacilityConfig {
+    name: String,
+    data_unit_gb: f64,
+    intensity_tflop_per_gb: f64,
+    local_tflops: f64,
+    remote_tflops: f64,
+    bandwidth_gbps: f64,
+    alpha: f64,
+    #[serde(default = "default_theta")]
+    theta: f64,
+    /// Expected worst-case inflation (Streaming Speed Score) on this path.
+    #[serde(default = "default_sss")]
+    expected_sss: f64,
+}
+
+fn default_theta() -> f64 {
+    1.0
+}
+fn default_sss() -> f64 {
+    5.0
+}
+
+const DEMO: &str = r#"{
+    "name": "demo: LCLS-II coherent scattering over ESnet",
+    "data_unit_gb": 2.0,
+    "intensity_tflop_per_gb": 17.0,
+    "local_tflops": 10.0,
+    "remote_tflops": 340.0,
+    "bandwidth_gbps": 25.0,
+    "alpha": 0.8,
+    "theta": 1.0,
+    "expected_sss": 7.5
+}"#;
+
+fn main() {
+    let config: FacilityConfig = match std::env::args().nth(1) {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad config {path}: {e}"))
+        }
+        None => serde_json::from_str(DEMO).expect("demo config parses"),
+    };
+
+    let params = ModelParams::builder()
+        .data_unit(Bytes::from_gb(config.data_unit_gb))
+        .intensity(ComputeIntensity::from_tflop_per_gb(config.intensity_tflop_per_gb))
+        .local_rate(FlopRate::from_tflops(config.local_tflops))
+        .remote_rate(FlopRate::from_tflops(config.remote_tflops))
+        .bandwidth(Rate::from_gbps(config.bandwidth_gbps))
+        .alpha(Ratio::new(config.alpha))
+        .theta(Ratio::new(config.theta))
+        .build()
+        .unwrap_or_else(|e| panic!("invalid parameters: {e}"));
+
+    println!("=== {} ===\n", config.name);
+    let report = decide(&params);
+    println!("decision: {:?}", report.decision);
+    for r in &report.reasons {
+        println!("  - {r}");
+    }
+
+    if report.decision == Decision::Infeasible {
+        return;
+    }
+
+    let be = BreakEven::of(&params);
+    println!("\nsensitivity (where the decision flips):");
+    match be.r_star {
+        Some(r) => println!("  remote/local compute ratio r*      : {:.2} (current {:.2})", r.value(), params.r().value()),
+        None => println!("  remote compute cannot flip it (transfer dominates)"),
+    }
+    if let Some(a) = be.alpha_star {
+        println!("  minimum transfer efficiency α*     : {:.3} (current {:.3})", a.value(), params.alpha.value());
+    }
+    if let Some(t) = be.theta_max {
+        println!("  maximum tolerable I/O overhead θ   : {:.2} (current {:.2})", t.value(), params.theta.value());
+    }
+    if let Some(b) = be.bw_min {
+        println!("  minimum bandwidth                  : {b} (current {})", params.bandwidth);
+    }
+
+    println!("\nworst-case tier feasibility at SSS = {}:", config.expected_sss);
+    for tier in [Tier::RealTime, Tier::NearRealTime, Tier::QuasiRealTime] {
+        let t = TierReport::evaluate(&params, Ratio::new(config.expected_sss), tier)
+            .expect("budgeted tier");
+        println!(
+            "  {tier}: worst T_pct {} → {}",
+            t.worst_t_pct,
+            if t.feasible { "OK" } else { "missed" }
+        );
+    }
+
+    // Variability view: α jitters ±25% around the configured value.
+    let lo = (config.alpha * 0.75).max(0.01);
+    let hi = config.alpha.min(1.0);
+    if let Some(mc) = MonteCarloOutcome::run(
+        &params,
+        TransferEfficiencyDistribution::Uniform { lo, hi },
+        5000,
+        13,
+    ) {
+        println!(
+            "\nwith α ~ U[{lo:.2}, {hi:.2}] (5,000 draws): \
+             T_pct p50 {}  p99 {}  P(remote wins) {:.0}%",
+            mc.p50,
+            mc.p99,
+            mc.prob_remote_wins * 100.0
+        );
+    }
+}

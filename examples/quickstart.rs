@@ -1,0 +1,61 @@
+//! Quickstart: decide whether one workload should stream to remote HPC.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use stream_score::prelude::*;
+
+fn main() {
+    // Describe the workload: an LCLS-II-style coherent-scattering stream
+    // producing 2 GB every second, needing 17 TFLOP of analysis per GB.
+    let params = ModelParams::builder()
+        .data_unit(Bytes::from_gb(2.0))
+        .intensity(ComputeIntensity::from_tflop_per_gb(17.0))
+        .local_rate(FlopRate::from_tflops(10.0)) // beamline GPU node
+        .remote_rate(FlopRate::from_tflops(340.0)) // HPC allocation
+        .bandwidth(Rate::from_gbps(25.0))
+        .alpha(Ratio::new(0.8)) // 80% transfer efficiency
+        .theta(Ratio::ONE) // streaming: no file I/O
+        .build()
+        .expect("valid parameters");
+
+    // Evaluate Eq. 3-10.
+    let model = CompletionModel::new(params);
+    println!("T_local    = {}", model.t_local());
+    println!("T_transfer = {}", model.t_transfer());
+    println!("T_remote   = {}", model.t_remote());
+    println!("T_pct      = {}", model.t_pct());
+
+    // The verdict.
+    let report = decide(&params);
+    println!("\ndecision: {:?}", report.decision);
+    for reason in &report.reasons {
+        println!("  - {reason}");
+    }
+
+    // Where does the decision flip?
+    let be = BreakEven::of(&params);
+    if let Some(r_star) = be.r_star {
+        println!(
+            "\nbreak-even: remote must be ≥{:.2}× local compute to win",
+            r_star.value()
+        );
+    }
+    if let Some(theta_max) = be.theta_max {
+        println!(
+            "file-based staging stays viable only while θ ≤ {:.2}",
+            theta_max.value()
+        );
+    }
+
+    // Worst-case check: with congestion inflating transfers 7.5× over
+    // theoretical (a Figure 2(a) reading at ~50-70% utilization), does
+    // the workload still fit near-real-time budgets?
+    let tier = TierReport::evaluate(&params, Ratio::new(7.5), Tier::NearRealTime)
+        .expect("tier 2 has a budget");
+    println!(
+        "\nworst-case transfer {} leaves {} of the 10 s tier-2 budget (feasible: {})",
+        tier.worst_transfer, tier.compute_budget, tier.feasible
+    );
+}

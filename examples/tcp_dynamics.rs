@@ -1,0 +1,62 @@
+//! Watch the transport mechanics that create the paper's tail latencies:
+//! trace the congestion windows of two flows sharing the testbed
+//! bottleneck — slow start, HyStart exit, loss, recovery — and render
+//! them as an ASCII plot.
+//!
+//! ```text
+//! cargo run --release --example tcp_dynamics
+//! ```
+
+use stream_score::prelude::*;
+use stream_score::report::{AsciiPlot, Scale, Series};
+
+fn main() {
+    let cfg = SimConfig::paper_testbed();
+    let mut sim = Simulator::new(cfg, 2);
+    sim.add_flow(FlowSpec::new(0, Bytes::from_gb(0.5), SimTime::ZERO));
+    // Second flow joins 100 ms in: it slow-starts into an occupied pipe.
+    sim.add_flow(FlowSpec::new(1, Bytes::from_gb(0.5), SimTime::from_millis(100)));
+    sim.enable_cwnd_trace(5_000_000); // 5 ms sampling
+    let report = sim.run();
+
+    let series = |id: u32, glyph: char| {
+        Series::new(
+            format!("flow {id} cwnd"),
+            glyph,
+            report
+                .cwnd_trace
+                .iter()
+                .filter(|s| s.flow.0 == id)
+                .map(|s| (s.at.as_secs(), s.cwnd / 1e6))
+                .collect(),
+        )
+    };
+    let plot = AsciiPlot::new("congestion window (MB) over time (s)", 72, 20)
+        .labels("time s", "cwnd MB")
+        .scales(Scale::Linear, Scale::Linear)
+        .series(series(0, 'o'))
+        .series(series(1, 'x'));
+    println!("{}", plot.render());
+
+    for f in &report.flows {
+        println!(
+            "flow {:?}: fct {:.3} s, retransmitted {:.1} MB, {} fast-retransmits, \
+             {} timeouts, {} hystart exits",
+            f.id,
+            f.fct().map(|t| t.as_secs()).unwrap_or(f64::NAN),
+            f.tcp.bytes_retransmitted as f64 / 1e6,
+            f.tcp.fast_retransmits,
+            f.tcp.timeouts,
+            f.tcp.hystart_exits,
+        );
+    }
+    let recoveries = report.cwnd_trace.iter().filter(|s| s.in_recovery).count();
+    println!(
+        "{} of {} samples taken during loss recovery; bottleneck dropped {} packets \
+         (max queue {:.1} MB)",
+        recoveries,
+        report.cwnd_trace.len(),
+        report.bottleneck.dropped_pkts,
+        report.bottleneck.max_queue_bytes as f64 / 1e6,
+    );
+}

@@ -1,0 +1,290 @@
+//! The `stream-score` command-line advisor.
+//!
+//! ```text
+//! stream-score decide --data 2GB --intensity 17TF/GB --local 10TF \
+//!                     --remote 340TF --bw 25Gbps --alpha 0.8 [--theta 1.5]
+//! stream-score scenarios            # evaluate every bundled facility scenario
+//! stream-score probe [--seconds 3]  # mini congestion sweep on the testbed model
+//! stream-score tiers --data 2GB --intensity 17TF/GB --local 10TF \
+//!                    --remote 340TF --bw 25Gbps --alpha 0.8 --sss 7.5
+//! ```
+//!
+//! Arguments use the same notations as the paper (`2GB`, `25Gbps`,
+//! `34TF`, `17TF/GB`); parsing lives in `sss-units`.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use stream_score::core::planner::plan_for_tier;
+use stream_score::core::sensitivity::Sensitivity;
+use stream_score::prelude::*;
+
+fn usage() -> &'static str {
+    "stream-score — to stream or not to stream?\n\
+     \n\
+     USAGE:\n\
+       stream-score decide    --data <SIZE> --intensity <C> --local <RATE>\n\
+                              --remote <RATE> --bw <RATE> --alpha <RATIO> [--theta <RATIO>]\n\
+       stream-score tiers     (same flags as decide) --sss <RATIO>\n\
+       stream-score plan      (same flags as decide) --tier <1|2|3>\n\
+                              [--curve results/fig2a_curve.json]\n\
+       stream-score scenarios\n\
+       stream-score probe     [--seconds <N>] [--concurrency <N>]\n\
+       stream-score help\n\
+     \n\
+     EXAMPLES:\n\
+       stream-score decide --data 2GB --intensity 17TF/GB --local 10TF \\\n\
+                           --remote 340TF --bw 25Gbps --alpha 0.8\n\
+       stream-score tiers  --data 2GB --intensity 17TF/GB --local 10TF \\\n\
+                           --remote 340TF --bw 25Gbps --alpha 0.8 --sss 7.5\n"
+}
+
+/// Parse `--key value` pairs; returns None on malformed input.
+fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].strip_prefix("--")?;
+        let value = args.get(i + 1)?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Some(flags)
+}
+
+fn params_from_flags(flags: &HashMap<String, String>) -> Result<ModelParams, String> {
+    let get = |key: &str| -> Result<String, String> {
+        flags
+            .get(key)
+            .cloned()
+            .ok_or_else(|| format!("missing --{key}"))
+    };
+
+    let data: Bytes = get("data")?.parse().map_err(|e| format!("{e}"))?;
+    let intensity: ComputeIntensity = get("intensity")?.parse().map_err(|e| format!("{e}"))?;
+    let local: FlopRate = get("local")?.parse().map_err(|e| format!("{e}"))?;
+    let remote: FlopRate = get("remote")?.parse().map_err(|e| format!("{e}"))?;
+    let bw: Rate = get("bw")?.parse().map_err(|e| format!("{e}"))?;
+    let alpha: Ratio = get("alpha")?.parse().map_err(|e| format!("{e}"))?;
+    let theta: Ratio = match flags.get("theta") {
+        Some(t) => t.parse().map_err(|e| format!("{e}"))?,
+        None => Ratio::ONE,
+    };
+    ModelParams::builder()
+        .data_unit(data)
+        .intensity(intensity)
+        .local_rate(local)
+        .remote_rate(remote)
+        .bandwidth(bw)
+        .alpha(alpha)
+        .theta(theta)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_decide(flags: &HashMap<String, String>) -> Result<(), String> {
+    let params = params_from_flags(flags)?;
+    let model = CompletionModel::new(params);
+    let report = decide(&params);
+
+    println!("T_local    = {}", model.t_local());
+    println!("T_transfer = {}  (α·Bw = {})", model.t_transfer(), params.effective_rate());
+    println!("T_remote   = {}  (r = {:.2})", model.t_remote(), params.r().value());
+    println!("T_IO       = {}  (θ = {})", model.t_io(), params.theta);
+    println!("T_pct      = {}", model.t_pct());
+    println!("\ndecision: {:?}", report.decision);
+    for r in &report.reasons {
+        println!("  - {r}");
+    }
+
+    if report.decision != Decision::Infeasible {
+        let be = BreakEven::of(&params);
+        println!("\nbreak-even boundaries:");
+        println!(
+            "  r*     = {}",
+            be.r_star.map(|r| format!("{:.3}", r.value())).unwrap_or("unreachable (transfer exceeds T_local)".into())
+        );
+        println!(
+            "  α*     = {}",
+            be.alpha_star.map(|a| format!("{:.3}", a.value())).unwrap_or("n/a".into())
+        );
+        println!(
+            "  θ_max  = {}",
+            be.theta_max.map(|t| format!("{:.3}", t.value())).unwrap_or("n/a".into())
+        );
+        println!(
+            "  Bw_min = {}",
+            be.bw_min.map(|b| b.to_string()).unwrap_or("n/a".into())
+        );
+        let s = Sensitivity::of(&params);
+        println!(
+            "\nsensitivities (elasticity of T_pct): α {:.2}  r {:.2}  θ {:.2} → biggest lever: {}",
+            s.e_alpha, s.e_r, s.e_theta, s.dominant()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_tiers(flags: &HashMap<String, String>) -> Result<(), String> {
+    let params = params_from_flags(flags)?;
+    let sss: Ratio = flags
+        .get("sss")
+        .ok_or("missing --sss (expected worst-case inflation, e.g. 7.5)")?
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    if sss.value() < 1.0 {
+        return Err(format!("--sss must be >= 1, got {}", sss.value()));
+    }
+    println!("worst-case tier feasibility at SSS = {}:", sss.value());
+    for tier in [Tier::RealTime, Tier::NearRealTime, Tier::QuasiRealTime] {
+        let t = TierReport::evaluate(&params, sss, tier).expect("budgeted tier");
+        println!(
+            "  {tier}: worst transfer {} → T_pct {} → {}",
+            t.worst_transfer,
+            t.worst_t_pct,
+            if t.feasible { "OK" } else { "missed" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
+    let params = params_from_flags(flags)?;
+    let tier = match flags.get("tier").map(String::as_str) {
+        Some("1") => Tier::RealTime,
+        Some("2") | None => Tier::NearRealTime,
+        Some("3") => Tier::QuasiRealTime,
+        Some(other) => return Err(format!("unknown tier {other:?} (use 1, 2 or 3)")),
+    };
+    // Congestion curve: a measured fig2a_curve.json, or the bundled
+    // seed-42 measurement of the simulated 25 Gbps testbed.
+    let curve = match flags.get("curve") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let points: Vec<(f64, f64)> =
+                serde_json::from_str(&text).map_err(|e| format!("bad curve {path}: {e}"))?;
+            CongestionCurve::from_points(points)
+                .ok_or_else(|| format!("{path} is not a valid congestion curve"))?
+        }
+        None => CongestionCurve::from_points(vec![
+            // Seed-42 measurement of the simulated testbed (fig2a),
+            // monotone envelope over the P ∈ {2,4,8} series.
+            (0.16, 2.4),
+            (0.32, 4.3),
+            (0.47, 7.0),
+            (0.62, 7.6),
+            (0.74, 14.9),
+            (0.87, 15.0),
+            (0.92, 31.8),
+            (0.94, 58.6),
+        ])
+        .expect("bundled curve valid"),
+    };
+
+    let plan = plan_for_tier(&params, &curve, tier).expect("budgeted tier");
+    println!("target: {tier}");
+    println!("worst-case T_pct now: {}", plan.current_worst_t_pct);
+    if plan.already_feasible {
+        println!("already feasible, worst case.");
+        if let Some(bw) = plan.min_bandwidth {
+            println!("headroom: the tier would still hold with the link cut to {bw}");
+        }
+    } else {
+        println!("NOT feasible at the current operating point. To fix it:");
+        match plan.min_remote_rate {
+            Some(r) => println!("  - grow remote compute to ≥ {r} (network unchanged), or"),
+            None => println!("  - no remote compute rate suffices (transfer alone blows the budget)"),
+        }
+        match plan.min_bandwidth {
+            Some(bw) => println!("  - grow the link to ≥ {bw} (compute unchanged)"),
+            None => println!("  - no link up to 100× the current one suffices"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_scenarios() -> Result<(), String> {
+    for s in Scenario::all() {
+        let report = decide(&s.params);
+        println!("{} [{}]", s.name, s.id);
+        println!("  provenance: {}", s.provenance);
+        println!("  target: {}", s.tier);
+        println!("  decision: {:?} (gain {:.2}×)", report.decision, report.gain.value());
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_probe(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seconds: u32 = flags
+        .get("seconds")
+        .map(|s| s.parse().map_err(|_| format!("bad --seconds {s}")))
+        .transpose()?
+        .unwrap_or(3);
+    let concurrency: u32 = flags
+        .get("concurrency")
+        .map(|s| s.parse().map_err(|_| format!("bad --concurrency {s}")))
+        .transpose()?
+        .unwrap_or(8);
+    if seconds == 0 || concurrency == 0 {
+        return Err("--seconds and --concurrency must be positive".into());
+    }
+    println!(
+        "probing: {concurrency} clients/s × {seconds} s of 0.5 GB transfers on the \
+         simulated 25 Gbps testbed..."
+    );
+    for c in 1..=concurrency {
+        let exp = Experiment {
+            config: SimConfig::paper_testbed(),
+            duration_s: seconds,
+            concurrency: c,
+            parallel_flows: 8,
+            bytes_per_client: Bytes::from_gb(0.5),
+            strategy: SpawnStrategy::Simultaneous,
+            start_jitter: 0.002,
+            seed: 42,
+        };
+        let r = exp.run();
+        println!(
+            "  c={c}: utilization {:5.1}%  worst {:6.2} s  SSS {:5.1}",
+            r.utilization().as_percent(),
+            r.worst_transfer_time().map(|t| t.as_secs()).unwrap_or(f64::NAN),
+            r.streaming_speed_score().map(|s| s.value()).unwrap_or(f64::NAN),
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let Some(flags) = parse_flags(&args[1..]) else {
+        eprintln!("malformed flags (expected --key value pairs)\n");
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "decide" => cmd_decide(&flags),
+        "tiers" => cmd_tiers(&flags),
+        "plan" => cmd_plan(&flags),
+        "scenarios" => cmd_scenarios(),
+        "probe" => cmd_probe(&flags),
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

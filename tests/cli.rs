@@ -1,0 +1,152 @@
+//! Integration tests for the `stream-score` CLI binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_stream-score"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+const DECIDE_ARGS: &[&str] = &[
+    "decide", "--data", "2GB", "--intensity", "17TF/GB", "--local", "10TF", "--remote", "340TF",
+    "--bw", "25Gbps", "--alpha", "0.8",
+];
+
+#[test]
+fn decide_streams_the_table3_workload() {
+    let (ok, stdout, _) = run(DECIDE_ARGS);
+    assert!(ok);
+    assert!(stdout.contains("RemoteStream"), "{stdout}");
+    assert!(stdout.contains("T_pct"), "{stdout}");
+    assert!(stdout.contains("break-even"), "{stdout}");
+    assert!(stdout.contains("biggest lever"), "{stdout}");
+}
+
+#[test]
+fn decide_flags_infeasible_liquid_scattering() {
+    let (ok, stdout, _) = run(&[
+        "decide", "--data", "4GB", "--intensity", "5TF/GB", "--local", "10TF", "--remote",
+        "200TF", "--bw", "25Gbps", "--alpha", "1.0",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Infeasible"), "{stdout}");
+}
+
+#[test]
+fn decide_honors_theta() {
+    // θ = 6 pushes the remote path past T_local = 3.4 s.
+    let mut args: Vec<&str> = DECIDE_ARGS.to_vec();
+    args.extend_from_slice(&["--theta", "6.0"]);
+    let (ok, stdout, _) = run(&args);
+    assert!(ok);
+    assert!(stdout.contains("decision: Local"), "{stdout}");
+}
+
+#[test]
+fn tiers_reports_all_three() {
+    let mut args: Vec<&str> = DECIDE_ARGS.to_vec();
+    args[0] = "tiers";
+    args.extend_from_slice(&["--sss", "7.5"]);
+    let (ok, stdout, _) = run(&args);
+    assert!(ok);
+    assert!(stdout.contains("Tier 1"));
+    assert!(stdout.contains("Tier 2"));
+    assert!(stdout.contains("Tier 3"));
+    assert!(stdout.contains("missed"));
+    assert!(stdout.contains("OK"));
+}
+
+#[test]
+fn scenarios_lists_the_bundled_facilities() {
+    let (ok, stdout, _) = run(&["scenarios"]);
+    assert!(ok);
+    for id in [
+        "lcls-coherent-scattering",
+        "lcls-liquid-scattering",
+        "aps-tomography",
+        "deleria-frib",
+        "lhc-raw-trigger",
+    ] {
+        assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn missing_flags_fail_with_usage() {
+    let (ok, _, stderr) = run(&["decide", "--data", "2GB"]);
+    assert!(!ok);
+    assert!(stderr.contains("missing --intensity"), "{stderr}");
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
+fn bad_units_fail_gracefully() {
+    let mut args: Vec<&str> = DECIDE_ARGS.to_vec();
+    args[2] = "2 parsecs";
+    let (ok, _, stderr) = run(&args);
+    assert!(!ok);
+    assert!(stderr.contains("cannot parse"), "{stderr}");
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn help_succeeds() {
+    let (ok, stdout, _) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn plan_reports_headroom_when_feasible() {
+    let mut args: Vec<&str> = DECIDE_ARGS.to_vec();
+    args[0] = "plan";
+    args.extend_from_slice(&["--tier", "2"]);
+    let (ok, stdout, _) = run(&args);
+    assert!(ok);
+    assert!(stdout.contains("already feasible"), "{stdout}");
+    assert!(stdout.contains("headroom"), "{stdout}");
+}
+
+#[test]
+fn plan_prescribes_compute_for_starved_workload() {
+    let (ok, stdout, _) = run(&[
+        "plan", "--data", "2GB", "--intensity", "17TF/GB", "--local", "10TF", "--remote",
+        "1TF", "--bw", "25Gbps", "--alpha", "0.8", "--tier", "2",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("NOT feasible"), "{stdout}");
+    assert!(stdout.contains("grow remote compute"), "{stdout}");
+}
+
+#[test]
+fn plan_rejects_bad_tier() {
+    let mut args: Vec<&str> = DECIDE_ARGS.to_vec();
+    args[0] = "plan";
+    args.extend_from_slice(&["--tier", "9"]);
+    let (ok, _, stderr) = run(&args);
+    assert!(!ok);
+    assert!(stderr.contains("unknown tier"), "{stderr}");
+}
+
+#[test]
+fn sss_below_one_rejected() {
+    let mut args: Vec<&str> = DECIDE_ARGS.to_vec();
+    args[0] = "tiers";
+    args.extend_from_slice(&["--sss", "0.5"]);
+    let (ok, _, stderr) = run(&args);
+    assert!(!ok);
+    assert!(stderr.contains("must be >= 1"), "{stderr}");
+}

@@ -1,0 +1,91 @@
+//! Cross-validation: the analytic model against the packet simulator.
+//!
+//! The model's `T_transfer = S/(α·Bw)` should describe the simulator once
+//! α is *measured from* the simulator — closing the loop the paper's
+//! methodology proposes (measure transfer efficiency, then model with it).
+
+use stream_score::prelude::*;
+
+/// Measure the effective single-flow transfer efficiency on the small
+/// test network: α = theoretical time / simulated FCT.
+fn measure_alpha(mb: f64) -> f64 {
+    let cfg = SimConfig::small_test();
+    let mut sim = Simulator::new(cfg, 1);
+    sim.add_flow(FlowSpec::new(0, Bytes::from_mb(mb), SimTime::ZERO));
+    let report = sim.run();
+    let fct = report.flows[0].fct().expect("completes").as_secs();
+    let theoretical = (Bytes::from_mb(mb) / cfg.bottleneck.rate).as_secs();
+    theoretical / fct
+}
+
+#[test]
+fn alpha_improves_with_transfer_length() {
+    // Slow-start amortizes: longer transfers get closer to line rate.
+    let short = measure_alpha(1.0);
+    let long = measure_alpha(50.0);
+    assert!(long > short, "alpha long {long} vs short {short}");
+    assert!(long > 0.8, "long transfers should be near line rate, got {long}");
+    assert!(short > 0.05 && short < 1.0);
+}
+
+#[test]
+fn model_with_measured_alpha_predicts_simulated_fct() {
+    let mb = 20.0;
+    let alpha = measure_alpha(mb);
+    let params = ModelParams::builder()
+        .data_unit(Bytes::from_mb(mb))
+        .intensity(ComputeIntensity::ZERO) // pure transfer
+        .local_rate(FlopRate::from_tflops(1.0))
+        .remote_rate(FlopRate::from_tflops(1.0))
+        .bandwidth(Rate::from_gbps(1.0))
+        .alpha(Ratio::new(alpha))
+        .build()
+        .unwrap();
+    let model_t = CompletionModel::new(params).t_transfer().as_secs();
+
+    let cfg = SimConfig::small_test();
+    let mut sim = Simulator::new(cfg, 1);
+    sim.add_flow(FlowSpec::new(0, Bytes::from_mb(mb), SimTime::ZERO));
+    let sim_t = sim.run().flows[0].fct().unwrap().as_secs();
+
+    // α was measured at this exact size, so the model must match ~exactly.
+    assert!(
+        (model_t - sim_t).abs() / sim_t < 1e-6,
+        "model {model_t} vs simulated {sim_t}"
+    );
+}
+
+#[test]
+fn simulated_fct_never_beats_eq5_at_alpha_one() {
+    // With α = 1 Eq. 5 is the physical floor; simulation must respect it.
+    for mb in [1.0, 5.0, 20.0] {
+        let cfg = SimConfig::small_test();
+        let floor = (Bytes::from_mb(mb) / cfg.bottleneck.rate).as_secs();
+        let mut sim = Simulator::new(cfg, 1);
+        sim.add_flow(FlowSpec::new(0, Bytes::from_mb(mb), SimTime::ZERO));
+        let fct = sim.run().flows[0].fct().unwrap().as_secs();
+        assert!(fct >= floor, "{mb} MB: fct {fct} under floor {floor}");
+    }
+}
+
+#[test]
+fn contention_lowers_effective_alpha() {
+    // Two clients sharing the bottleneck: each one's implied α drops
+    // below the solo value — the mechanism behind the paper's α < 1.
+    let mb = 10.0;
+    let solo_alpha = measure_alpha(mb);
+
+    let cfg = SimConfig::small_test();
+    let mut sim = Simulator::new(cfg, 2);
+    sim.add_flow(FlowSpec::new(0, Bytes::from_mb(mb), SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(1, Bytes::from_mb(mb), SimTime::ZERO));
+    let report = sim.run();
+    let theoretical = (Bytes::from_mb(mb) / cfg.bottleneck.rate).as_secs();
+    let worst = report.worst_fct().unwrap().as_secs();
+    let contended_alpha = theoretical / worst;
+
+    assert!(
+        contended_alpha < solo_alpha,
+        "contended α {contended_alpha} should undercut solo α {solo_alpha}"
+    );
+}
