@@ -6,7 +6,9 @@ use std::hint::black_box;
 use sss_stats::{bootstrap_ci, Ecdf, P2Quantile, Summary};
 
 fn samples(n: usize) -> Vec<f64> {
-    (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 10.0).collect()
+    (0..n)
+        .map(|i| ((i * 2654435761) % 1000) as f64 / 10.0)
+        .collect()
 }
 
 fn bench_stats(c: &mut Criterion) {

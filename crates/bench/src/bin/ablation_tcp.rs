@@ -37,11 +37,19 @@ fn run(algo: CongestionAlgo, hystart: bool, red: bool) -> (f64, f64, u64, u64, u
         seed: 42,
     };
     let r = exp.run();
-    let worst = r.worst_transfer_time().map(|t| t.as_secs()).unwrap_or(f64::NAN);
+    let worst = r
+        .worst_transfer_time()
+        .map(|t| t.as_secs())
+        .unwrap_or(f64::NAN);
     let mean = r.tail().map(|t| t.mean).unwrap_or(f64::NAN);
     let drops = r.report.bottleneck.dropped_pkts;
     let early = r.report.bottleneck.early_drops;
-    let retx: u64 = r.report.flows.iter().map(|f| f.tcp.bytes_retransmitted).sum();
+    let retx: u64 = r
+        .report
+        .flows
+        .iter()
+        .map(|f| f.tcp.bytes_retransmitted)
+        .sum();
     (worst, mean, drops, early, retx)
 }
 
@@ -51,10 +59,20 @@ fn main() {
     ])
     .with_title("TCP design ablation: 8×0.5 GB simultaneous batches (128% offered) for 3 s");
     let mut csv = CsvWriter::new([
-        "algo", "hystart", "qdisc", "worst_s", "mean_s", "drops", "early_drops", "retx_bytes",
+        "algo",
+        "hystart",
+        "qdisc",
+        "worst_s",
+        "mean_s",
+        "drops",
+        "early_drops",
+        "retx_bytes",
     ]);
 
-    for (algo, name) in [(CongestionAlgo::Cubic, "cubic"), (CongestionAlgo::Reno, "reno")] {
+    for (algo, name) in [
+        (CongestionAlgo::Cubic, "cubic"),
+        (CongestionAlgo::Reno, "reno"),
+    ] {
         for hystart in [true, false] {
             for red in [false, true] {
                 eprintln!("running {name} hystart={hystart} red={red}...");

@@ -42,14 +42,13 @@ fn main() {
     ]);
 
     for scenario in [
-        Scenario::lcls_coherent_scattering(),
-        Scenario::lcls_liquid_scattering(),
-        Scenario::lcls_liquid_scattering_reduced(),
+        Scenario::by_id("lcls-coherent-scattering").expect("registered"),
+        Scenario::by_id("lcls-liquid-scattering").expect("registered"),
+        Scenario::by_id("lcls-liquid-scattering-reduced").expect("registered"),
     ] {
         let p = &scenario.params;
         let verdict = decide(p);
-        let util = p.required_stream_rate().as_bytes_per_sec()
-            / p.bandwidth.as_bytes_per_sec();
+        let util = p.required_stream_rate().as_bytes_per_sec() / p.bandwidth.as_bytes_per_sec();
 
         if verdict.decision == Decision::Infeasible {
             table.row([
@@ -80,8 +79,7 @@ fn main() {
         let worst_s = worst_curve.at(util);
         let t_theoretical = (p.data_unit / p.bandwidth).as_secs();
         let sss = Ratio::new((worst_s / t_theoretical).max(1.0));
-        let report = TierReport::evaluate(p, sss, Tier::NearRealTime)
-            .expect("tier 2 has a budget");
+        let report = TierReport::evaluate(p, sss, Tier::NearRealTime).expect("tier 2 has a budget");
         table.row([
             scenario.name.to_string(),
             format!("{:.0}%", util * 100.0),
@@ -117,6 +115,7 @@ fn main() {
     );
 
     let dir = results_dir();
-    csv.write_to(&dir.join("case_study.csv")).expect("write case_study.csv");
+    csv.write_to(&dir.join("case_study.csv"))
+        .expect("write case_study.csv");
     eprintln!("wrote {}", dir.join("case_study.csv").display());
 }

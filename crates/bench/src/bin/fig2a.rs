@@ -14,7 +14,14 @@ fn main() {
     let points = figure2_sweep(SpawnStrategy::Simultaneous);
 
     let mut table = Table::new([
-        "P", "concurrency", "offered", "measured util", "worst", "mean", "p99", "SSS",
+        "P",
+        "concurrency",
+        "offered",
+        "measured util",
+        "worst",
+        "mean",
+        "p99",
+        "SSS",
     ])
     .with_title("Figure 2(a): max transfer time vs load, simultaneous batches");
     let mut csv = CsvWriter::new([
@@ -87,7 +94,8 @@ fn main() {
     );
 
     let dir = results_dir();
-    csv.write_to(&dir.join("fig2a.csv")).expect("write fig2a.csv");
+    csv.write_to(&dir.join("fig2a.csv"))
+        .expect("write fig2a.csv");
     sss_report::write_json(&dir.join("fig2a_curve.json"), &curve.points().to_vec())
         .expect("write curve json");
     eprintln!("wrote {}", dir.join("fig2a.csv").display());

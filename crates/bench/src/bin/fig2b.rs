@@ -81,6 +81,7 @@ fn main() {
     );
 
     let dir = results_dir();
-    csv.write_to(&dir.join("fig2b.csv")).expect("write fig2b.csv");
+    csv.write_to(&dir.join("fig2b.csv"))
+        .expect("write fig2b.csv");
     eprintln!("wrote {}", dir.join("fig2b.csv").display());
 }

@@ -12,7 +12,10 @@ use sss_stats::{Ecdf, TailMetrics};
 fn main() {
     eprintln!("running Figure 3 (pooled transfer-time CDF)...");
     let points = figure2_sweep(SpawnStrategy::Simultaneous);
-    let samples: Vec<f64> = points.iter().flat_map(|p| p.samples.iter().copied()).collect();
+    let samples: Vec<f64> = points
+        .iter()
+        .flat_map(|p| p.samples.iter().copied())
+        .collect();
     let ecdf = Ecdf::from_samples(&samples).expect("sweep produced transfers");
     let tail = TailMetrics::from_samples(&samples).expect("non-empty");
 

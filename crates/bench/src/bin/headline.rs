@@ -12,8 +12,8 @@ use sss_report::Table;
 use sss_units::TimeDelta;
 
 fn main() {
-    let mut table = Table::new(["claim", "paper", "measured here", "holds?"])
-        .with_title("Headline claims");
+    let mut table =
+        Table::new(["claim", "paper", "measured here", "holds?"]).with_title("Headline claims");
 
     // Claim 1: completion-time reduction at the high frame rate.
     let scan = FrameSource::aps_scan(TimeDelta::from_secs(0.033));
@@ -30,10 +30,7 @@ fn main() {
     // Claim 2: worst-case congestion inflation.
     eprintln!("running congestion sweep for claim 2...");
     let points = figure2_sweep(SpawnStrategy::Simultaneous);
-    let worst_sss = points
-        .iter()
-        .map(|p| p.sss())
-        .fold(0.0f64, f64::max);
+    let worst_sss = points.iter().map(|p| p.sss()).fold(0.0f64, f64::max);
     table.row([
         "worst-case transfer inflation over theoretical".to_string(),
         ">10× (5 s vs 0.16 s ≈ 31×)".to_string(),

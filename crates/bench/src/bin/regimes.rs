@@ -66,6 +66,7 @@ fn main() {
     }
 
     println!("{}", be_table.to_text());
-    csv.write_to(&dir.join("regimes.csv")).expect("write regimes.csv");
+    csv.write_to(&dir.join("regimes.csv"))
+        .expect("write regimes.csv");
     eprintln!("wrote {}", dir.join("regimes.csv").display());
 }

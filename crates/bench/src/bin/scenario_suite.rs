@@ -1,0 +1,46 @@
+//! E-X4 — the full facility-scenario matrix: every registered scenario
+//! through model + netsim + iosim in parallel, rendered as a summary
+//! table and persisted as CSV + JSON under `results/`.
+//!
+//! Honors `SSS_SEED` and `SSS_QUICK` like the other regenerators.
+
+use sss_bench::{quick, results_dir, seed};
+use sss_exec::ThreadPool;
+use sss_loadgen::{suite_csv, summary_table, ScenarioSuite, SuiteConfig};
+use sss_report::write_json;
+
+fn main() {
+    let config = if quick() {
+        SuiteConfig::quick(seed())
+    } else {
+        SuiteConfig::standard(seed())
+    };
+    let suite = ScenarioSuite::bundled(config);
+    let pool = ThreadPool::with_available_parallelism();
+    eprintln!(
+        "evaluating {} scenarios × {} congestion levels on {} workers...",
+        suite.scenarios().len(),
+        suite.config().congestion_levels.len(),
+        pool.workers()
+    );
+    let evaluations = suite.run(&pool);
+
+    let table = summary_table(&evaluations);
+    println!("{}", table.to_text());
+
+    let dir = results_dir();
+    let md = dir.join("scenario_suite.md");
+    std::fs::write(&md, table.to_markdown()).expect("write scenario_suite.md");
+    let csv = dir.join("scenario_suite.csv");
+    suite_csv(&evaluations)
+        .write_to(&csv)
+        .expect("write scenario_suite.csv");
+    let json = dir.join("scenario_suite.json");
+    write_json(&json, &evaluations).expect("write scenario_suite.json");
+    eprintln!(
+        "wrote {}, {} and {}",
+        md.display(),
+        csv.display(),
+        json.display()
+    );
+}

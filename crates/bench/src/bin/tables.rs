@@ -73,17 +73,25 @@ fn main() {
     ]);
     println!("{}", t2.to_text());
 
-    let mut t3 = Table::new(["description", "throughput", "offline analysis", "feasibility"])
-        .with_title("Table 3: compute-intensive workflows at LCLS-II (2023, after 10× reduction)");
+    let mut t3 = Table::new([
+        "description",
+        "throughput",
+        "offline analysis",
+        "feasibility",
+    ])
+    .with_title("Table 3: compute-intensive workflows at LCLS-II (2023, after 10× reduction)");
     for s in [
-        Scenario::lcls_coherent_scattering(),
-        Scenario::lcls_liquid_scattering(),
+        Scenario::by_id("lcls-coherent-scattering").expect("registered"),
+        Scenario::by_id("lcls-liquid-scattering").expect("registered"),
     ] {
         let work = s.params.intensity * s.params.data_unit;
         let verdict = sss_core::decide(&s.params).decision;
         t3.row([
             s.name.to_string(),
-            format!("{:.0} GB/s", s.params.required_stream_rate().as_gigabytes_per_sec()),
+            format!(
+                "{:.0} GB/s",
+                s.params.required_stream_rate().as_gigabytes_per_sec()
+            ),
             format!("{:.0} TF", work.as_tflop()),
             format!("{verdict:?} on {}", s.params.bandwidth),
         ]);

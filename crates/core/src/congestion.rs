@@ -237,8 +237,7 @@ mod tests {
 
     #[test]
     fn never_below_one() {
-        let c =
-            CongestionCurve::from_points(vec![(0.9, 10.0), (1.0, 1.0)]).unwrap();
+        let c = CongestionCurve::from_points(vec![(0.9, 10.0), (1.0, 1.0)]).unwrap();
         // Steeply *falling* curve extrapolates negative; clamp holds.
         assert!(c.sss_at(2.0).value() >= 1.0);
     }

@@ -140,9 +140,9 @@ impl BreakEven {
         let bw = params.bandwidth.as_bytes_per_sec();
         let alpha = params.alpha.value();
 
-        let alpha_star = (headroom > 0.0).then(|| Ratio::new(theta * s / (bw * t_local * headroom)));
-        let theta_max =
-            (headroom > 0.0).then(|| Ratio::new(t_local * headroom * alpha * bw / s));
+        let alpha_star =
+            (headroom > 0.0).then(|| Ratio::new(theta * s / (bw * t_local * headroom)));
+        let theta_max = (headroom > 0.0).then(|| Ratio::new(t_local * headroom * alpha * bw / s));
         let bw_min = (headroom > 0.0)
             .then(|| Rate::from_bytes_per_sec(theta * s / (alpha * t_local * headroom)));
 
@@ -186,7 +186,10 @@ impl RegimeMap {
             0.0 < alpha_lo && alpha_lo < alpha_hi && alpha_hi <= 1.0,
             "alpha range must satisfy 0 < lo < hi <= 1"
         );
-        assert!(0.0 < r_lo && r_lo < r_hi, "r range must satisfy 0 < lo < hi");
+        assert!(
+            0.0 < r_lo && r_lo < r_hi,
+            "r range must satisfy 0 < lo < hi"
+        );
 
         let alphas: Vec<f64> = (0..n_alpha)
             .map(|i| alpha_lo + (alpha_hi - alpha_lo) * i as f64 / (n_alpha - 1) as f64)

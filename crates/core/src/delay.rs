@@ -115,8 +115,6 @@ mod tests {
         let congested = approx.relative_error(TimeDelta::from_secs(5.0));
         assert!(calm < 0.25);
         assert!(congested > 0.99);
-        assert!(
-            (approx.underestimate(TimeDelta::from_secs(5.0)).as_secs() - 4.992).abs() < 1e-9
-        );
+        assert!((approx.underestimate(TimeDelta::from_secs(5.0)).as_secs() - 4.992).abs() < 1e-9);
     }
 }

@@ -42,7 +42,7 @@ pub use model::CompletionModel;
 pub use montecarlo::{MonteCarloOutcome, TransferEfficiencyDistribution};
 pub use params::{ModelParams, ModelParamsBuilder, ParamError};
 pub use planner::{plan_for_tier, Plan};
-pub use scenario::Scenario;
+pub use scenario::{Scenario, ScenarioSpec};
 pub use sensitivity::Sensitivity;
 pub use sss::StreamingSpeedScore;
 pub use tiers::{Tier, TierReport};

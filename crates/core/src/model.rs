@@ -168,8 +168,7 @@ mod tests {
         // SSS = 1 with α = 1 equals the average-case model.
         let ideal = CompletionModel::new(params(1.0, 1.0));
         assert!(
-            (ideal.t_pct_worst_case(Ratio::ONE).as_secs() - ideal.t_pct().as_secs()).abs()
-                < 1e-12
+            (ideal.t_pct_worst_case(Ratio::ONE).as_secs() - ideal.t_pct().as_secs()).abs() < 1e-12
         );
     }
 

@@ -211,7 +211,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let d = TransferEfficiencyDistribution::TruncatedNormal { mean: 0.7, sd: 0.15 };
+        let d = TransferEfficiencyDistribution::TruncatedNormal {
+            mean: 0.7,
+            sd: 0.15,
+        };
         let a = MonteCarloOutcome::run(&params(), d, 500, 42).unwrap();
         let b = MonteCarloOutcome::run(&params(), d, 500, 42).unwrap();
         assert_eq!(a, b);

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 use sss_units::{Bytes, ComputeIntensity, FlopRate, Rate, Ratio};
 
 /// Why a parameter set was rejected.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct ParamError {
     /// The offending parameter.
     pub parameter: &'static str,
@@ -85,7 +85,10 @@ impl ModelParams {
     pub fn validated(self) -> Result<Self, ParamError> {
         let err = |parameter: &'static str, message: String| ParamError { parameter, message };
         if self.data_unit.as_b() <= 0.0 || !self.data_unit.is_finite() {
-            return Err(err("S_unit", format!("must be positive, got {}", self.data_unit)));
+            return Err(err(
+                "S_unit",
+                format!("must be positive, got {}", self.data_unit),
+            ));
         }
         if self.intensity.as_flop_per_byte() < 0.0 || !self.intensity.is_finite() {
             return Err(err(
@@ -106,7 +109,10 @@ impl ModelParams {
             ));
         }
         if self.bandwidth.as_bytes_per_sec() <= 0.0 || !self.bandwidth.is_finite() {
-            return Err(err("Bw", format!("must be positive, got {}", self.bandwidth)));
+            return Err(err(
+                "Bw",
+                format!("must be positive, got {}", self.bandwidth),
+            ));
         }
         if !self.alpha.in_range(f64::MIN_POSITIVE, 1.0) {
             return Err(err(
@@ -245,11 +251,19 @@ mod tests {
     #[test]
     fn alpha_out_of_range_rejected() {
         assert_eq!(
-            valid().alpha(Ratio::new(0.0)).build().unwrap_err().parameter,
+            valid()
+                .alpha(Ratio::new(0.0))
+                .build()
+                .unwrap_err()
+                .parameter,
             "alpha"
         );
         assert_eq!(
-            valid().alpha(Ratio::new(1.2)).build().unwrap_err().parameter,
+            valid()
+                .alpha(Ratio::new(1.2))
+                .build()
+                .unwrap_err()
+                .parameter,
             "alpha"
         );
     }
@@ -272,11 +286,7 @@ mod tests {
             "R_local"
         );
         assert_eq!(
-            valid()
-                .bandwidth(Rate::ZERO)
-                .build()
-                .unwrap_err()
-                .parameter,
+            valid().bandwidth(Rate::ZERO).build().unwrap_err().parameter,
             "Bw"
         );
         assert_eq!(

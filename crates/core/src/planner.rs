@@ -132,13 +132,8 @@ mod tests {
     use sss_units::{Bytes, ComputeIntensity, Ratio};
 
     fn curve() -> CongestionCurve {
-        CongestionCurve::from_points(vec![
-            (0.16, 2.0),
-            (0.64, 2.2),
-            (0.9, 10.0),
-            (1.1, 50.0),
-        ])
-        .unwrap()
+        CongestionCurve::from_points(vec![(0.16, 2.0), (0.64, 2.2), (0.9, 10.0), (1.1, 50.0)])
+            .unwrap()
     }
 
     fn params(remote_tf: f64, bw_gbps: f64) -> ModelParams {

@@ -96,11 +96,9 @@ mod tests {
 
     #[test]
     fn ideal_network_scores_one() {
-        let s = StreamingSpeedScore::new(
-            TimeDelta::from_millis(160.0),
-            TimeDelta::from_millis(160.0),
-        )
-        .unwrap();
+        let s =
+            StreamingSpeedScore::new(TimeDelta::from_millis(160.0), TimeDelta::from_millis(160.0))
+                .unwrap();
         assert!((s.score().value() - 1.0).abs() < 1e-12);
     }
 
@@ -113,9 +111,7 @@ mod tests {
         )
         .is_none());
         assert!(StreamingSpeedScore::new(TimeDelta::from_secs(1.0), TimeDelta::ZERO).is_none());
-        assert!(
-            StreamingSpeedScore::new(TimeDelta::INFINITY, TimeDelta::from_secs(1.0)).is_none()
-        );
+        assert!(StreamingSpeedScore::new(TimeDelta::INFINITY, TimeDelta::from_secs(1.0)).is_none());
     }
 
     #[test]

@@ -126,10 +126,22 @@ mod tests {
 
     #[test]
     fn classification_edges() {
-        assert_eq!(Tier::classify(TimeDelta::from_millis(999.0)), Tier::RealTime);
-        assert_eq!(Tier::classify(TimeDelta::from_secs(1.0)), Tier::NearRealTime);
-        assert_eq!(Tier::classify(TimeDelta::from_secs(9.99)), Tier::NearRealTime);
-        assert_eq!(Tier::classify(TimeDelta::from_secs(10.0)), Tier::QuasiRealTime);
+        assert_eq!(
+            Tier::classify(TimeDelta::from_millis(999.0)),
+            Tier::RealTime
+        );
+        assert_eq!(
+            Tier::classify(TimeDelta::from_secs(1.0)),
+            Tier::NearRealTime
+        );
+        assert_eq!(
+            Tier::classify(TimeDelta::from_secs(9.99)),
+            Tier::NearRealTime
+        );
+        assert_eq!(
+            Tier::classify(TimeDelta::from_secs(10.0)),
+            Tier::QuasiRealTime
+        );
         assert_eq!(Tier::classify(TimeDelta::from_secs(61.0)), Tier::Offline);
     }
 

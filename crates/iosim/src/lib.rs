@@ -85,7 +85,11 @@ mod proptests {
     use sss_units::{Bytes, Rate};
 
     fn any_source(period_ms: f64, frames: u32) -> FrameSource {
-        FrameSource::new(frames, Bytes::from_mb(8.0), TimeDelta::from_millis(period_ms))
+        FrameSource::new(
+            frames,
+            Bytes::from_mb(8.0),
+            TimeDelta::from_millis(period_ms),
+        )
     }
 
     proptest! {

@@ -132,14 +132,12 @@ impl FileBasedPipeline {
                 .min_by(|a, b| a.1.partial_cmp(b.1).expect("slot time NaN"))
                 .expect("at least one slot");
             let start = ready.max(slot_free[slot]);
-            let per_byte_rate = wan_share
-                .min(p.local.read_bw)
-                .min(p.remote.write_bw);
+            let per_byte_rate = wan_share.min(p.local.read_bw).min(p.remote.write_bw);
             let fixed = p.dtn.startup_per_file.as_secs()
                 + p.remote.metadata_latency.as_secs()
                 + p.wan.rtt.as_secs();
-            let moving = (bytes / per_byte_rate).as_secs()
-                + (bytes / p.dtn.checksum_rate).as_secs();
+            let moving =
+                (bytes / per_byte_rate).as_secs() + (bytes / p.dtn.checksum_rate).as_secs();
             let done = start + fixed + moving;
             slot_free[slot] = done;
             available.push(done);
@@ -254,7 +252,10 @@ mod tests {
             .collect();
         // Streaming beats everything.
         for (i, t) in by_files.iter().enumerate() {
-            assert!(stream.completion.as_secs() < *t, "file case {i} beat streaming");
+            assert!(
+                stream.completion.as_secs() < *t,
+                "file case {i} beat streaming"
+            );
         }
         // Metadata/startup-dominated cases degrade with file count.
         assert!(by_files[3] > by_files[2], "1440 worse than 144");

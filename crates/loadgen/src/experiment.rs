@@ -61,7 +61,12 @@ impl Experiment {
     /// The paper's Table 2 experiment cell at the given concurrency and
     /// parallelism: 10 s of repeated 0.5 GB transfers on the Table 1
     /// testbed, with a small 2 ms spawn jitter.
-    pub fn paper_cell(concurrency: u32, parallel_flows: u32, strategy: SpawnStrategy, seed: u64) -> Self {
+    pub fn paper_cell(
+        concurrency: u32,
+        parallel_flows: u32,
+        strategy: SpawnStrategy,
+        seed: u64,
+    ) -> Self {
         Experiment {
             config: SimConfig::paper_testbed(),
             duration_s: 10,
@@ -102,7 +107,8 @@ impl Experiment {
         // client is its own VM/NIC); its parallel flows share that NIC.
         let mut sim = Simulator::new(self.config, n_clients);
         let mut clients = Vec::with_capacity(n_clients as usize);
-        let per_flow = Bytes::from_b((self.bytes_per_client.as_b() / self.parallel_flows as f64).ceil());
+        let per_flow =
+            Bytes::from_b((self.bytes_per_client.as_b() / self.parallel_flows as f64).ceil());
 
         // Reservation calendar state (Reserved strategy only): next free
         // slot start, with slots sized to 1.5× the theoretical transfer
@@ -416,7 +422,11 @@ mod tests {
         for (i, c) in r.clients.iter().enumerate() {
             let second = (i / 8) as f64;
             let s = c.spawn.as_secs();
-            assert!(s >= second && s < second + 1.0 + 0.01, "spawn {s} outside [{second}, {})", second + 1.0);
+            assert!(
+                s >= second && s < second + 1.0 + 0.01,
+                "spawn {s} outside [{second}, {})",
+                second + 1.0
+            );
         }
         // Arrivals are jittered, not batched: distinct times in second 0.
         let mut first: Vec<f64> = r.clients[0..8].iter().map(|c| c.spawn.as_secs()).collect();
@@ -433,8 +443,18 @@ mod tests {
         let poisson = small_exp(8, SpawnStrategy::Poisson).run();
         let reserved = small_exp(8, SpawnStrategy::Reserved).run();
         let w = |r: &ExperimentResult| r.worst_transfer_time().unwrap().as_secs();
-        assert!(w(&poisson) <= w(&batch) * 1.2, "poisson {} batch {}", w(&poisson), w(&batch));
-        assert!(w(&reserved) <= w(&poisson) * 1.2, "reserved {} poisson {}", w(&reserved), w(&poisson));
+        assert!(
+            w(&poisson) <= w(&batch) * 1.2,
+            "poisson {} batch {}",
+            w(&poisson),
+            w(&batch)
+        );
+        assert!(
+            w(&reserved) <= w(&poisson) * 1.2,
+            "reserved {} poisson {}",
+            w(&reserved),
+            w(&poisson)
+        );
     }
 
     #[test]

@@ -17,10 +17,15 @@
 //! `T_worst` the Streaming Speed Score needs.
 
 mod experiment;
+mod suite;
 mod sweep;
 
 pub use experiment::{ClientRecord, Experiment, ExperimentResult, SpawnStrategy, TransferLog};
-pub use sweep::{sweep, SweepPoint, SweepSpec};
+pub use suite::{
+    suite_csv, summary_table, CongestionPoint, IoSummary, ScenarioEvaluation, ScenarioSuite,
+    SuiteConfig,
+};
+pub use sweep::{aggregate, sweep, SweepPoint, SweepSpec};
 
 #[cfg(test)]
 mod proptests {

@@ -132,7 +132,16 @@ impl SweepPoint {
 pub fn sweep(spec: &SweepSpec, workers: usize) -> Vec<SweepPoint> {
     let experiments = spec.experiments();
     let results = par_map(workers, &experiments, Experiment::run);
+    aggregate(spec, &results)
+}
 
+/// Fold raw experiment results (in [`SweepSpec::experiments`] order) into
+/// per-cell [`SweepPoint`]s.
+///
+/// Exposed so callers that schedule the experiments themselves — the
+/// scenario suite runs many sweeps' experiments through one shared thread
+/// pool — reuse the same aggregation as [`sweep`].
+pub fn aggregate(spec: &SweepSpec, results: &[ExperimentResult]) -> Vec<SweepPoint> {
     let mut points = Vec::with_capacity(spec.cells());
     let repeats = spec.repeats as usize;
     for (chunk_idx, chunk) in results.chunks(repeats).enumerate() {

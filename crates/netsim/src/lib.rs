@@ -37,7 +37,9 @@ pub use config::{LinkConfig, Qdisc, SimConfig, TcpConfig};
 pub use link::{Link, LinkStats};
 pub use packet::{FlowId, Packet, PacketKind};
 pub use sim::{CwndSample, FlowRecord, FlowSpec, SimReport, Simulator};
-pub use tcp::{AckInfo, CongestionAlgo, SackBlock, TcpAction, TcpReceiver, TcpSender, TcpSenderStats};
+pub use tcp::{
+    AckInfo, CongestionAlgo, SackBlock, TcpAction, TcpReceiver, TcpSender, TcpSenderStats,
+};
 pub use time::SimTime;
 
 #[cfg(test)]

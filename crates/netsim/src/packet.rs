@@ -3,9 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Identifies one TCP flow within a simulation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FlowId(pub u32);
 
 /// What a packet carries.

@@ -108,8 +108,10 @@ pub struct SimReport {
 impl SimReport {
     /// Mean bottleneck utilization over `[0, horizon]`.
     pub fn utilization(&self, horizon: TimeDelta) -> f64 {
-        self.delivered
-            .utilization_over(self.config.bottleneck.rate.as_bytes_per_sec(), horizon.as_secs())
+        self.delivered.utilization_over(
+            self.config.bottleneck.rate.as_bytes_per_sec(),
+            horizon.as_secs(),
+        )
     }
 
     /// Completion times of all completed flows, in seconds.
@@ -351,7 +353,8 @@ impl Simulator {
             EventKind::ArriveServer(pkt) => {
                 if let PacketKind::Data { seq, .. } = pkt.kind {
                     let now = self.now;
-                    self.delivered.record(now.as_secs(), pkt.payload_bytes as f64);
+                    self.delivered
+                        .record(now.as_secs(), pkt.payload_bytes as f64);
                     let flow = &mut self.flows[pkt.flow.0 as usize];
                     let info = flow.receiver.on_data(seq, pkt.payload_bytes);
                     let ack_at = now + self.cfg.ack_delay;
@@ -367,7 +370,8 @@ impl Simulator {
                     if last.len() <= idx {
                         last.resize(idx + 1, SimTime::ZERO);
                     }
-                    if last[idx] == SimTime::ZERO || now.as_nanos() >= last[idx].as_nanos() + *interval
+                    if last[idx] == SimTime::ZERO
+                        || now.as_nanos() >= last[idx].as_nanos() + *interval
                     {
                         last[idx] = now;
                         let sender = &self.flows[idx].sender;
@@ -551,7 +555,11 @@ mod tests {
         let cfg = SimConfig::small_test();
         let mut sim = Simulator::new(cfg, 2);
         sim.add_flow(FlowSpec::new(0, Bytes::from_mb(1.0), SimTime::ZERO));
-        sim.add_flow(FlowSpec::new(1, Bytes::from_mb(1.0), SimTime::from_millis(500)));
+        sim.add_flow(FlowSpec::new(
+            1,
+            Bytes::from_mb(1.0),
+            SimTime::from_millis(500),
+        ));
         let report = sim.run();
         assert_eq!(report.flows[1].start, SimTime::from_millis(500));
         assert!(report.flows[1].completion.unwrap() > SimTime::from_millis(500));

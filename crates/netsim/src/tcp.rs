@@ -424,9 +424,7 @@ impl TcpSender {
                     self.retx_outstanding = 0;
                     self.epoch_start = None;
                 } else {
-                    if !self.sacked.contains(self.snd_una)
-                        && !self.retxed.contains(self.snd_una)
-                    {
+                    if !self.sacked.contains(self.snd_una) && !self.retxed.contains(self.snd_una) {
                         // Partial ACK: the hole at the new frontier has not
                         // been repaired yet — resend it now (NewReno rule,
                         // also covers recovery with an empty scoreboard).
@@ -1089,10 +1087,7 @@ mod tests {
         // The hole at the new frontier (3000) is retransmitted by the
         // SACK walk.
         let retx = sends(&actions);
-        assert!(
-            retx.iter().any(|&(seq, _, r)| seq == 3000 && r),
-            "{retx:?}"
-        );
+        assert!(retx.iter().any(|&(seq, _, r)| seq == 3000 && r), "{retx:?}");
     }
 
     #[test]
@@ -1266,8 +1261,20 @@ mod tests {
     #[test]
     fn receiver_in_order() {
         let mut r = TcpReceiver::new();
-        assert_eq!(r.on_data(0, 1000), AckInfo { cum: 1000, sack: None });
-        assert_eq!(r.on_data(1000, 1000), AckInfo { cum: 2000, sack: None });
+        assert_eq!(
+            r.on_data(0, 1000),
+            AckInfo {
+                cum: 1000,
+                sack: None
+            }
+        );
+        assert_eq!(
+            r.on_data(1000, 1000),
+            AckInfo {
+                cum: 2000,
+                sack: None
+            }
+        );
         assert_eq!(r.delivered(), 2000);
         assert_eq!(r.ooo_ranges(), 0);
     }
@@ -1293,7 +1300,13 @@ mod tests {
         );
         assert_eq!(r.ooo_ranges(), 1);
         // Filling the hole releases everything.
-        assert_eq!(r.on_data(1000, 1000), AckInfo { cum: 4000, sack: None });
+        assert_eq!(
+            r.on_data(1000, 1000),
+            AckInfo {
+                cum: 4000,
+                sack: None
+            }
+        );
         assert_eq!(r.delivered(), 4000);
         assert_eq!(r.ooo_ranges(), 0);
     }
@@ -1302,7 +1315,13 @@ mod tests {
     fn receiver_duplicate_data_tolerated() {
         let mut r = TcpReceiver::new();
         let _ = r.on_data(0, 1000);
-        assert_eq!(r.on_data(0, 1000), AckInfo { cum: 1000, sack: None });
+        assert_eq!(
+            r.on_data(0, 1000),
+            AckInfo {
+                cum: 1000,
+                sack: None
+            }
+        );
         assert_eq!(r.delivered(), 1000);
     }
 

@@ -54,7 +54,10 @@ impl AsciiPlot {
     /// # Panics
     /// Panics when the canvas is smaller than 16×4.
     pub fn new<S: Into<String>>(title: S, width: usize, height: usize) -> Self {
-        assert!(width >= 16 && height >= 4, "canvas too small: {width}×{height}");
+        assert!(
+            width >= 16 && height >= 4,
+            "canvas too small: {width}×{height}"
+        );
         AsciiPlot {
             title: title.into(),
             x_label: String::new(),
@@ -265,7 +268,11 @@ mod tests {
     fn log_scale_skips_nonpositive() {
         let plot = AsciiPlot::new("log", 20, 5)
             .scales(Scale::Linear, Scale::Log)
-            .series(Series::new("s", '*', vec![(0.0, 0.0), (1.0, 10.0), (2.0, 100.0)]));
+            .series(Series::new(
+                "s",
+                '*',
+                vec![(0.0, 0.0), (1.0, 10.0), (2.0, 100.0)],
+            ));
         let text = plot.render();
         // The (0, 0) point is dropped; the others plot.
         assert_eq!(text.matches('*').count(), 2 + 1); // 2 points + legend glyph
@@ -273,16 +280,22 @@ mod tests {
 
     #[test]
     fn constant_series_renders() {
-        let plot = AsciiPlot::new("flat", 20, 5)
-            .series(Series::new("c", '#', vec![(0.0, 1.0), (1.0, 1.0)]));
+        let plot = AsciiPlot::new("flat", 20, 5).series(Series::new(
+            "c",
+            '#',
+            vec![(0.0, 1.0), (1.0, 1.0)],
+        ));
         let text = plot.render();
         assert!(text.contains('#'));
     }
 
     #[test]
     fn nan_points_skipped() {
-        let plot = AsciiPlot::new("nan", 20, 5)
-            .series(Series::new("s", '@', vec![(f64::NAN, 1.0), (1.0, 2.0)]));
+        let plot = AsciiPlot::new("nan", 20, 5).series(Series::new(
+            "s",
+            '@',
+            vec![(f64::NAN, 1.0), (1.0, 2.0)],
+        ));
         let text = plot.render();
         assert_eq!(text.matches('@').count(), 1 + 1);
     }

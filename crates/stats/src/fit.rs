@@ -27,10 +27,7 @@ impl LinearFit {
         if points.len() < 2 {
             return None;
         }
-        if points
-            .iter()
-            .any(|(x, y)| !x.is_finite() || !y.is_finite())
-        {
+        if points.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
             return None;
         }
         let n = points.len() as f64;

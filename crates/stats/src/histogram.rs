@@ -129,7 +129,10 @@ impl Histogram {
                 }
                 Spacing::Log => {
                     let ratio = (self.hi / self.lo).powf(1.0 / n as f64);
-                    (self.lo * ratio.powi(i as i32), self.lo * ratio.powi(i as i32 + 1))
+                    (
+                        self.lo * ratio.powi(i as i32),
+                        self.lo * ratio.powi(i as i32 + 1),
+                    )
                 }
             };
             HistogramBucket {

@@ -74,11 +74,7 @@ impl RateSeries {
 
     /// Peak bin rate in bytes per second.
     pub fn peak_rate(&self) -> f64 {
-        self.bins
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max)
-            / self.bin_width_s
+        self.bins.iter().cloned().fold(0.0f64, f64::max) / self.bin_width_s
     }
 
     /// Mean rate over the observed span (bytes per second); 0 when empty.

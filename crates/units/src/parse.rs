@@ -40,7 +40,9 @@ fn split_number_unit(s: &str) -> Option<(f64, &str)> {
     let s = s.trim();
     let split = s
         .char_indices()
-        .find(|(_, c)| !(c.is_ascii_digit() || *c == '.' || *c == '-' || *c == '+' || *c == 'e' || *c == 'E'))
+        .find(|(_, c)| {
+            !(c.is_ascii_digit() || *c == '.' || *c == '-' || *c == '+' || *c == 'e' || *c == 'E')
+        })
         .map(|(i, _)| i)
         .unwrap_or(s.len());
     // A trailing exponent letter with no digits after it ("2e") should fail
@@ -213,10 +215,22 @@ mod tests {
 
     #[test]
     fn parse_time() {
-        assert_eq!("16 ms".parse::<TimeDelta>().unwrap(), TimeDelta::from_millis(16.0));
-        assert_eq!("1 min".parse::<TimeDelta>().unwrap(), TimeDelta::from_secs(60.0));
-        assert_eq!("4 µs".parse::<TimeDelta>().unwrap(), TimeDelta::from_micros(4.0));
-        assert_eq!("10s".parse::<TimeDelta>().unwrap(), TimeDelta::from_secs(10.0));
+        assert_eq!(
+            "16 ms".parse::<TimeDelta>().unwrap(),
+            TimeDelta::from_millis(16.0)
+        );
+        assert_eq!(
+            "1 min".parse::<TimeDelta>().unwrap(),
+            TimeDelta::from_secs(60.0)
+        );
+        assert_eq!(
+            "4 µs".parse::<TimeDelta>().unwrap(),
+            TimeDelta::from_micros(4.0)
+        );
+        assert_eq!(
+            "10s".parse::<TimeDelta>().unwrap(),
+            TimeDelta::from_secs(10.0)
+        );
         assert!("10 fortnights".parse::<TimeDelta>().is_err());
     }
 
@@ -231,18 +245,30 @@ mod tests {
 
     #[test]
     fn parse_rate_variants() {
-        assert_eq!("240 MB/s".parse::<Rate>().unwrap(), Rate::from_megabytes_per_sec(240.0));
+        assert_eq!(
+            "240 MB/s".parse::<Rate>().unwrap(),
+            Rate::from_megabytes_per_sec(240.0)
+        );
         assert_eq!("1 Tbps".parse::<Rate>().unwrap(), Rate::from_tbps(1.0));
         assert_eq!("100 Mbps".parse::<Rate>().unwrap(), Rate::from_mbps(100.0));
-        assert_eq!("2 GBps".parse::<Rate>().unwrap(), Rate::from_gigabytes_per_sec(2.0));
+        assert_eq!(
+            "2 GBps".parse::<Rate>().unwrap(),
+            Rate::from_gigabytes_per_sec(2.0)
+        );
         assert!("5 furlongs/s".parse::<Rate>().is_err());
     }
 
     #[test]
     fn parse_flops_and_rates() {
         assert_eq!("34 TF".parse::<Flops>().unwrap(), Flops::from_tflop(34.0));
-        assert_eq!("20 TFLOPS".parse::<FlopRate>().unwrap(), FlopRate::from_tflops(20.0));
-        assert_eq!("1.5 PF".parse::<FlopRate>().unwrap(), FlopRate::from_pflops(1.5));
+        assert_eq!(
+            "20 TFLOPS".parse::<FlopRate>().unwrap(),
+            FlopRate::from_tflops(20.0)
+        );
+        assert_eq!(
+            "1.5 PF".parse::<FlopRate>().unwrap(),
+            FlopRate::from_pflops(1.5)
+        );
     }
 
     #[test]
@@ -276,7 +302,10 @@ mod tests {
     #[test]
     fn scientific_notation() {
         assert_eq!("2e3 B".parse::<Bytes>().unwrap(), Bytes::from_kb(2.0));
-        assert_eq!("1e-3 s".parse::<TimeDelta>().unwrap(), TimeDelta::from_millis(1.0));
+        assert_eq!(
+            "1e-3 s".parse::<TimeDelta>().unwrap(),
+            TimeDelta::from_millis(1.0)
+        );
     }
 
     #[test]

@@ -279,7 +279,10 @@ mod tests {
     fn std_duration_conversion() {
         let t = TimeDelta::from_millis(250.0);
         assert_eq!(t.to_duration(), Duration::from_millis(250));
-        assert_eq!(TimeDelta::from_duration(Duration::from_secs(2)).as_secs(), 2.0);
+        assert_eq!(
+            TimeDelta::from_duration(Duration::from_secs(2)).as_secs(),
+            2.0
+        );
     }
 
     #[test]

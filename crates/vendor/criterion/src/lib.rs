@@ -1,0 +1,251 @@
+//! Vendored minimal `criterion` stand-in.
+//!
+//! Implements the API subset the bench binaries use — `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Throughput`, `iter`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! median-of-samples wall-clock measurement instead of criterion's full
+//! statistical machinery. Good enough to rank implementations and catch
+//! order-of-magnitude regressions without any external dependencies.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark identifier (function name + parameter).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a displayed parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Configure measurement time (accepted for API compatibility; the
+    /// vendored harness is sample-count driven).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput annotation.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<I: fmt::Display, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Run a benchmark parameterized by an input value.
+    pub fn bench_with_input<I: fmt::Display, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; collects timed iterations.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time the routine `sample_size` times, keeping every sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up to fault in caches/allocations.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    bencher.samples.sort();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let lo = bencher.samples[0];
+    let hi = bencher.samples[bencher.samples.len() - 1];
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Bytes(n) => format!(
+                "  {:>10.1} MiB/s",
+                n as f64 / (1024.0 * 1024.0) / median.as_secs_f64()
+            ),
+            Throughput::Elements(n) => {
+                format!("  {:>10.0} elem/s", n as f64 / median.as_secs_f64())
+            }
+        })
+        .unwrap_or_default();
+    println!(
+        "{id:<40} median {:>12} [{} .. {}]{rate}",
+        fmt_duration(median),
+        fmt_duration(lo),
+        fmt_duration(hi)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declare a benchmark group, in either criterion syntax.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point running every declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,206 @@
+//! Vendored minimal `crossbeam` stand-in.
+//!
+//! Provides `crossbeam::channel` with cloneable multi-producer,
+//! multi-consumer unbounded channels, implemented over a mutex-guarded
+//! queue with a condvar — ample for the coarse-grained work distribution
+//! the executor crate does (whole simulations per message).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of an unbounded channel; cloneable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned when sending into a channel with no receivers left.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by `recv` on an empty, disconnected channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message. Never blocks (unbounded).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.push_back(msg);
+            drop(queue);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake all blocked receivers.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Block until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    return Ok(msg);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .shared
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+
+        /// Blocking iterator that ends when the channel is closed and drained.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Blocking iterator over received messages.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_and_close() {
+            let (tx, rx) = unbounded();
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let got: Vec<i32> = rx.iter().collect();
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        }
+
+        #[test]
+        fn mpmc_across_threads() {
+            let (tx, rx) = unbounded::<usize>();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let total: usize = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        scope.spawn(move || rx.iter().sum::<usize>())
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(total, 100 * 99 / 2);
+        }
+    }
+}

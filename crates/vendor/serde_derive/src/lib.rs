@@ -1,0 +1,535 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! minimal serde stand-in. Parses the item token stream by hand (the
+//! container has no syn/quote) and supports the container shapes this
+//! workspace uses:
+//!
+//! * named-field structs (with `#[serde(default)]` / `#[serde(default = "path")]`)
+//! * newtype and tuple structs (`#[serde(transparent)]` is implied for newtypes)
+//! * unit structs
+//! * enums with unit, newtype, tuple and struct variants (externally tagged)
+//!
+//! Generic containers are intentionally rejected — the workspace has none.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum FieldDefault {
+    None,
+    Trait,
+    Path(String),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    body: Body,
+    transparent: bool,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Extract serde attribute metadata from an attribute group's tokens
+/// (the tokens inside `#[...]`). Returns (is_serde, transparent, default).
+fn scan_attr(tokens: Vec<TokenTree>) -> (bool, bool, FieldDefault) {
+    let mut iter = tokens.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return (false, false, FieldDefault::None),
+    }
+    let Some(TokenTree::Group(inner)) = iter.next() else {
+        return (true, false, FieldDefault::None);
+    };
+    let inner_tokens: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut transparent = false;
+    let mut default = FieldDefault::None;
+    let mut i = 0;
+    while i < inner_tokens.len() {
+        if let TokenTree::Ident(id) = &inner_tokens[i] {
+            match id.to_string().as_str() {
+                "transparent" => transparent = true,
+                "default" => {
+                    // `default` alone, or `default = "path"`.
+                    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                        (inner_tokens.get(i + 1), inner_tokens.get(i + 2))
+                    {
+                        if eq.as_char() == '=' {
+                            let text = lit.to_string();
+                            default = FieldDefault::Path(text.trim_matches('"').to_string());
+                            i += 2;
+                        } else {
+                            default = FieldDefault::Trait;
+                        }
+                    } else {
+                        default = FieldDefault::Trait;
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    (true, transparent, default)
+}
+
+/// Consume leading attributes at `*i`; fold serde metadata into the result.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, FieldDefault) {
+    let mut transparent = false;
+    let mut default = FieldDefault::None;
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let (is_serde, t, d) = scan_attr(g.stream().into_iter().collect());
+                if is_serde {
+                    transparent |= t;
+                    if !matches!(d, FieldDefault::None) {
+                        default = d;
+                    }
+                }
+                *i += 2;
+            }
+            _ => return (transparent, default),
+        }
+    }
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) at `*i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parse the fields of a `{ ... }` group into names + defaults.
+fn parse_named_fields(group_tokens: Vec<TokenTree>) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < group_tokens.len() {
+        let (_, default) = skip_attrs(&group_tokens, &mut i);
+        skip_vis(&group_tokens, &mut i);
+        let name = match group_tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("unexpected token in field list: {other:?}")),
+        };
+        i += 1;
+        match group_tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field {name}, got {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = group_tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+/// Count the comma-separated fields of a `( ... )` group at depth 0.
+fn count_tuple_fields(group_tokens: Vec<TokenTree>) -> usize {
+    if group_tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for tok in &group_tokens {
+        trailing_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(group_tokens: Vec<TokenTree>) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < group_tokens.len() {
+        let _ = skip_attrs(&group_tokens, &mut i);
+        let name = match group_tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("unexpected token in enum body: {other:?}")),
+        };
+        i += 1;
+        let kind = match group_tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream().into_iter().collect())?;
+                i += 1;
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream().into_iter().collect());
+                i += 1;
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        while let Some(tok) = group_tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_container(input: TokenStream) -> Result<Container, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let (transparent, _) = skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected container name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde derive does not support generic container {name}"
+            ));
+        }
+    }
+    let body = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream().into_iter().collect())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream().into_iter().collect()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream().into_iter().collect())?)
+            }
+            other => return Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Container {
+        name,
+        body,
+        transparent,
+    })
+}
+
+// --- code generation ---
+
+fn field_de_expr(container: &str, field: &Field) -> String {
+    let name = &field.name;
+    let missing = match &field.default {
+        FieldDefault::None => format!(
+            "return ::std::result::Result::Err(::serde::Error::custom(\
+             \"{container}: missing field `{name}`\"))"
+        ),
+        FieldDefault::Trait => "::std::default::Default::default()".to_string(),
+        FieldDefault::Path(path) => format!("{path}()"),
+    };
+    format!(
+        "{name}: match __m.iter().find(|__e| __e.0 == \"{name}\") {{\
+             ::std::option::Option::Some(__e) => ::serde::Deserialize::from_value(&__e.1)?,\
+             ::std::option::Option::None => {missing},\
+         }},"
+    )
+}
+
+fn named_fields_ser(fields: &[Field], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let n = &f.name;
+            format!("(\"{n}\".to_string(), ::serde::Serialize::to_value(&{access_prefix}{n}))")
+        })
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(","))
+}
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.body {
+        Body::NamedStruct(fields) => {
+            if c.transparent && fields.len() == 1 {
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+            } else {
+                named_fields_ser(fields, "self.")
+            }
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(","))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                                 ::serde::Value::Seq(vec![{}]))]),",
+                                binds.join(","),
+                                items.join(",")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let inner = named_fields_ser(fields, "");
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(\"{vn}\"\
+                                 .to_string(), {inner})]),",
+                                binds.join(",")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(""))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.body {
+        Body::NamedStruct(fields) => {
+            if c.transparent && fields.len() == 1 {
+                format!(
+                    "::std::result::Result::Ok({name} {{ {}: \
+                     ::serde::Deserialize::from_value(__v)? }})",
+                    fields[0].name
+                )
+            } else {
+                let field_exprs: Vec<String> =
+                    fields.iter().map(|f| field_de_expr(name, f)).collect();
+                format!(
+                    "let __m = match __v.as_map() {{\
+                         ::std::option::Option::Some(__m) => __m,\
+                         ::std::option::Option::None => return \
+                             ::std::result::Result::Err(::serde::Error::custom(\
+                             \"{name}: expected map\")),\
+                     }};\
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    field_exprs.join("")
+                )
+            }
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = match __v.as_seq() {{\
+                     ::std::option::Option::Some(__s) if __s.len() == {n} => __s,\
+                     _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                         \"{name}: expected sequence of {n}\")),\
+                 }};\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(",")
+            )
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__pv)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\
+                                     let __s = match __pv.as_seq() {{\
+                                         ::std::option::Option::Some(__s) if __s.len() == {n} \
+                                             => __s,\
+                                         _ => return ::std::result::Result::Err(\
+                                             ::serde::Error::custom(\
+                                             \"{name}::{vn}: expected sequence of {n}\")),\
+                                     }};\
+                                     ::std::result::Result::Ok({name}::{vn}({}))\
+                                 }},",
+                                items.join(",")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let field_exprs: Vec<String> = fields
+                                .iter()
+                                .map(|f| field_de_expr(&format!("{name}::{vn}"), f))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\
+                                     let __m = match __pv.as_map() {{\
+                                         ::std::option::Option::Some(__m) => __m,\
+                                         ::std::option::Option::None => return \
+                                             ::std::result::Result::Err(::serde::Error::custom(\
+                                             \"{name}::{vn}: expected map\")),\
+                                     }};\
+                                     ::std::result::Result::Ok({name}::{vn} {{ {} }})\
+                                 }},",
+                                field_exprs.join("")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\
+                         {}\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"{name}: unknown variant {{__other}}\"))),\
+                     }},\
+                     ::serde::Value::Map(__m) if __m.len() == 1 => {{\
+                         let (__k, __pv) = (&__m[0].0, &__m[0].1);\
+                         match __k.as_str() {{\
+                             {}\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"{name}: unknown variant {{__other}}\"))),\
+                         }}\
+                     }},\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\
+                         \"{name}: expected variant string or single-key map\")),\
+                 }}",
+                unit_arms.join(""),
+                data_arms.join("")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+             {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+/// Derive the vendored `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_container(input) {
+        Ok(c) => gen_serialize(&c).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derive the vendored `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_container(input) {
+        Ok(c) => gen_deserialize(&c).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}

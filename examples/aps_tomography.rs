@@ -11,8 +11,10 @@ use stream_score::iosim::theta_estimate;
 use stream_score::prelude::*;
 
 fn main() {
-    for (label, period_s) in [("fast acquisition (0.033 s/frame)", 0.033),
-                              ("slow acquisition (0.33 s/frame)", 0.33)] {
+    for (label, period_s) in [
+        ("fast acquisition (0.033 s/frame)", 0.033),
+        ("slow acquisition (0.33 s/frame)", 0.33),
+    ] {
         let scan = FrameSource::aps_scan(TimeDelta::from_secs(period_s));
         println!(
             "\n=== {label}: {:.1} GB over {:.1} s ===",

@@ -12,7 +12,10 @@ use stream_score::prelude::*;
 fn main() {
     let theoretical = Bytes::from_gb(0.5) / Rate::from_gbps(25.0);
     println!("theoretical transfer time for 0.5 GB at 25 Gbps: {theoretical}\n");
-    println!("{:>11} {:>12} {:>10} {:>10} {:>8}", "concurrency", "utilization", "worst", "p99", "SSS");
+    println!(
+        "{:>11} {:>12} {:>10} {:>10} {:>8}",
+        "concurrency", "utilization", "worst", "p99", "SSS"
+    );
 
     for concurrency in [1u32, 2, 4, 6, 8] {
         let exp = Experiment {

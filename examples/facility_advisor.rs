@@ -74,7 +74,9 @@ fn main() {
 
     let params = ModelParams::builder()
         .data_unit(Bytes::from_gb(config.data_unit_gb))
-        .intensity(ComputeIntensity::from_tflop_per_gb(config.intensity_tflop_per_gb))
+        .intensity(ComputeIntensity::from_tflop_per_gb(
+            config.intensity_tflop_per_gb,
+        ))
         .local_rate(FlopRate::from_tflops(config.local_tflops))
         .remote_rate(FlopRate::from_tflops(config.remote_tflops))
         .bandwidth(Rate::from_gbps(config.bandwidth_gbps))
@@ -97,20 +99,38 @@ fn main() {
     let be = BreakEven::of(&params);
     println!("\nsensitivity (where the decision flips):");
     match be.r_star {
-        Some(r) => println!("  remote/local compute ratio r*      : {:.2} (current {:.2})", r.value(), params.r().value()),
+        Some(r) => println!(
+            "  remote/local compute ratio r*      : {:.2} (current {:.2})",
+            r.value(),
+            params.r().value()
+        ),
         None => println!("  remote compute cannot flip it (transfer dominates)"),
     }
     if let Some(a) = be.alpha_star {
-        println!("  minimum transfer efficiency α*     : {:.3} (current {:.3})", a.value(), params.alpha.value());
+        println!(
+            "  minimum transfer efficiency α*     : {:.3} (current {:.3})",
+            a.value(),
+            params.alpha.value()
+        );
     }
     if let Some(t) = be.theta_max {
-        println!("  maximum tolerable I/O overhead θ   : {:.2} (current {:.2})", t.value(), params.theta.value());
+        println!(
+            "  maximum tolerable I/O overhead θ   : {:.2} (current {:.2})",
+            t.value(),
+            params.theta.value()
+        );
     }
     if let Some(b) = be.bw_min {
-        println!("  minimum bandwidth                  : {b} (current {})", params.bandwidth);
+        println!(
+            "  minimum bandwidth                  : {b} (current {})",
+            params.bandwidth
+        );
     }
 
-    println!("\nworst-case tier feasibility at SSS = {}:", config.expected_sss);
+    println!(
+        "\nworst-case tier feasibility at SSS = {}:",
+        config.expected_sss
+    );
     for tier in [Tier::RealTime, Tier::NearRealTime, Tier::QuasiRealTime] {
         let t = TierReport::evaluate(&params, Ratio::new(config.expected_sss), tier)
             .expect("budgeted tier");

@@ -20,10 +20,9 @@ fn main() {
     spec.duration_s = 3;
     spec.parallel_flows = vec![8];
     let points = sweep(&spec, 2);
-    let curve = CongestionCurve::from_points(
-        points.iter().map(|p| (p.utilization, p.sss())).collect(),
-    )
-    .expect("sweep yields a curve");
+    let curve =
+        CongestionCurve::from_points(points.iter().map(|p| (p.utilization, p.sss())).collect())
+            .expect("sweep yields a curve");
     for p in &points {
         println!(
             "  concurrency {}: utilization {:5.1}%  worst {:6.2}s  SSS {:5.1}",
@@ -36,9 +35,9 @@ fn main() {
 
     // 2. Push each LCLS-II workflow through the model at its utilization.
     for scenario in [
-        Scenario::lcls_coherent_scattering(),
-        Scenario::lcls_liquid_scattering(),
-        Scenario::lcls_liquid_scattering_reduced(),
+        Scenario::by_id("lcls-coherent-scattering").expect("registered"),
+        Scenario::by_id("lcls-liquid-scattering").expect("registered"),
+        Scenario::by_id("lcls-liquid-scattering-reduced").expect("registered"),
     ] {
         println!("\n=== {} ===", scenario.name);
         let p = &scenario.params;
@@ -51,10 +50,13 @@ fn main() {
             println!("verdict: INFEASIBLE — {}", verdict.reasons[0]);
             continue;
         }
-        let util = p.required_stream_rate().as_bytes_per_sec()
-            / p.bandwidth.as_bytes_per_sec();
+        let util = p.required_stream_rate().as_bytes_per_sec() / p.bandwidth.as_bytes_per_sec();
         let sss = curve.sss_at(util);
-        println!("utilization {:.0}% → measured SSS {:.2}", util * 100.0, sss.value());
+        println!(
+            "utilization {:.0}% → measured SSS {:.2}",
+            util * 100.0,
+            sss.value()
+        );
         for tier in [Tier::RealTime, Tier::NearRealTime, Tier::QuasiRealTime] {
             let report = TierReport::evaluate(p, sss, tier).expect("budgeted tier");
             println!(

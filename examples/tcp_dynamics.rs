@@ -15,7 +15,11 @@ fn main() {
     let mut sim = Simulator::new(cfg, 2);
     sim.add_flow(FlowSpec::new(0, Bytes::from_gb(0.5), SimTime::ZERO));
     // Second flow joins 100 ms in: it slow-starts into an occupied pipe.
-    sim.add_flow(FlowSpec::new(1, Bytes::from_gb(0.5), SimTime::from_millis(100)));
+    sim.add_flow(FlowSpec::new(
+        1,
+        Bytes::from_gb(0.5),
+        SimTime::from_millis(100),
+    ));
     sim.enable_cwnd_trace(5_000_000); // 5 ms sampling
     let report = sim.run();
 

@@ -59,13 +59,17 @@ pub use sss_units as units;
 /// the model, run the simulators.
 pub mod prelude {
     pub use sss_core::{
-        decide, BreakEven, CompletionModel, CongestionCurve, Decision, DecisionReport,
-        ModelParams, RegimeMap, Scenario, StreamingSpeedScore, Tier, TierReport,
+        decide, BreakEven, CompletionModel, CongestionCurve, Decision, DecisionReport, ModelParams,
+        RegimeMap, Scenario, ScenarioSpec, StreamingSpeedScore, Tier, TierReport,
     };
+    pub use sss_exec::ThreadPool;
     pub use sss_iosim::{
         presets, FileBasedPipeline, FrameSource, MovementResult, StreamingPipeline,
     };
-    pub use sss_loadgen::{sweep, Experiment, ExperimentResult, SpawnStrategy, SweepSpec};
+    pub use sss_loadgen::{
+        summary_table, sweep, Experiment, ExperimentResult, ScenarioEvaluation, ScenarioSuite,
+        SpawnStrategy, SuiteConfig, SweepSpec,
+    };
     pub use sss_netsim::{FlowSpec, SimConfig, SimTime, Simulator};
     pub use sss_stats::{Ecdf, Summary, TailMetrics};
     pub use sss_units::{Bytes, ComputeIntensity, FlopRate, Flops, Rate, Ratio, TimeDelta};

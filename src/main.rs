@@ -28,7 +28,9 @@ fn usage() -> &'static str {
        stream-score tiers     (same flags as decide) --sss <RATIO>\n\
        stream-score plan      (same flags as decide) --tier <1|2|3>\n\
                               [--curve results/fig2a_curve.json]\n\
-       stream-score scenarios\n\
+       stream-score scenarios [--depth quick|full] [--mode parallel|sequential]\n\
+                              [--workers <N>] [--levels 1,4,8] [--seconds <N>]\n\
+                              [--seed <N>] [--format text|md]\n\
        stream-score probe     [--seconds <N>] [--concurrency <N>]\n\
        stream-score help\n\
      \n\
@@ -88,8 +90,16 @@ fn cmd_decide(flags: &HashMap<String, String>) -> Result<(), String> {
     let report = decide(&params);
 
     println!("T_local    = {}", model.t_local());
-    println!("T_transfer = {}  (α·Bw = {})", model.t_transfer(), params.effective_rate());
-    println!("T_remote   = {}  (r = {:.2})", model.t_remote(), params.r().value());
+    println!(
+        "T_transfer = {}  (α·Bw = {})",
+        model.t_transfer(),
+        params.effective_rate()
+    );
+    println!(
+        "T_remote   = {}  (r = {:.2})",
+        model.t_remote(),
+        params.r().value()
+    );
     println!("T_IO       = {}  (θ = {})", model.t_io(), params.theta);
     println!("T_pct      = {}", model.t_pct());
     println!("\ndecision: {:?}", report.decision);
@@ -102,15 +112,21 @@ fn cmd_decide(flags: &HashMap<String, String>) -> Result<(), String> {
         println!("\nbreak-even boundaries:");
         println!(
             "  r*     = {}",
-            be.r_star.map(|r| format!("{:.3}", r.value())).unwrap_or("unreachable (transfer exceeds T_local)".into())
+            be.r_star
+                .map(|r| format!("{:.3}", r.value()))
+                .unwrap_or("unreachable (transfer exceeds T_local)".into())
         );
         println!(
             "  α*     = {}",
-            be.alpha_star.map(|a| format!("{:.3}", a.value())).unwrap_or("n/a".into())
+            be.alpha_star
+                .map(|a| format!("{:.3}", a.value()))
+                .unwrap_or("n/a".into())
         );
         println!(
             "  θ_max  = {}",
-            be.theta_max.map(|t| format!("{:.3}", t.value())).unwrap_or("n/a".into())
+            be.theta_max
+                .map(|t| format!("{:.3}", t.value()))
+                .unwrap_or("n/a".into())
         );
         println!(
             "  Bw_min = {}",
@@ -119,7 +135,10 @@ fn cmd_decide(flags: &HashMap<String, String>) -> Result<(), String> {
         let s = Sensitivity::of(&params);
         println!(
             "\nsensitivities (elasticity of T_pct): α {:.2}  r {:.2}  θ {:.2} → biggest lever: {}",
-            s.e_alpha, s.e_r, s.e_theta, s.dominant()
+            s.e_alpha,
+            s.e_r,
+            s.e_theta,
+            s.dominant()
         );
     }
     Ok(())
@@ -194,7 +213,9 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
         println!("NOT feasible at the current operating point. To fix it:");
         match plan.min_remote_rate {
             Some(r) => println!("  - grow remote compute to ≥ {r} (network unchanged), or"),
-            None => println!("  - no remote compute rate suffices (transfer alone blows the budget)"),
+            None => {
+                println!("  - no remote compute rate suffices (transfer alone blows the budget)")
+            }
         }
         match plan.min_bandwidth {
             Some(bw) => println!("  - grow the link to ≥ {bw} (compute unchanged)"),
@@ -204,14 +225,73 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_scenarios() -> Result<(), String> {
-    for s in Scenario::all() {
-        let report = decide(&s.params);
+fn cmd_scenarios(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mut config = match flags.get("depth").map(String::as_str) {
+        Some("full") => SuiteConfig::standard(42),
+        Some("quick") | None => SuiteConfig::quick(42),
+        Some(other) => return Err(format!("unknown depth {other:?} (use quick or full)")),
+    };
+    if let Some(levels) = flags.get("levels") {
+        config.congestion_levels = levels
+            .split(',')
+            .map(|s| s.trim().parse().map_err(|_| format!("bad level {s:?}")))
+            .collect::<Result<Vec<u32>, String>>()?;
+    }
+    if let Some(s) = flags.get("seconds") {
+        config.duration_s = s.parse().map_err(|_| format!("bad --seconds {s}"))?;
+    }
+    if let Some(s) = flags.get("seed") {
+        config.seed = s.parse().map_err(|_| format!("bad --seed {s}"))?;
+    }
+    config.validate()?;
+
+    // Reject a bad --format before spending minutes on the suite.
+    let markdown = match flags.get("format").map(String::as_str) {
+        Some("md") => true,
+        Some("text") | None => false,
+        Some(other) => return Err(format!("unknown format {other:?} (use text or md)")),
+    };
+
+    let suite = ScenarioSuite::bundled(config);
+    let evaluations = match flags.get("mode").map(String::as_str) {
+        Some("sequential") => {
+            if flags.contains_key("workers") {
+                return Err("--workers conflicts with --mode sequential".into());
+            }
+            suite.run_sequential()
+        }
+        Some("parallel") | None => {
+            let pool = match flags.get("workers") {
+                Some(w) => ThreadPool::new(w.parse().map_err(|_| format!("bad --workers {w}"))?),
+                None => ThreadPool::with_available_parallelism(),
+            };
+            suite.run(&pool)
+        }
+        Some(other) => {
+            return Err(format!(
+                "unknown mode {other:?} (use parallel or sequential)"
+            ))
+        }
+    };
+
+    for e in &evaluations {
+        let s = &e.scenario;
         println!("{} [{}]", s.name, s.id);
         println!("  provenance: {}", s.provenance);
         println!("  target: {}", s.tier);
-        println!("  decision: {:?} (gain {:.2}×)", report.decision, report.gain.value());
+        println!(
+            "  decision: {:?} (gain {:.2}×)",
+            e.decision.decision,
+            e.decision.gain.value()
+        );
         println!();
+    }
+
+    let table = summary_table(&evaluations);
+    if markdown {
+        print!("{}", table.to_markdown());
+    } else {
+        print!("{}", table.to_text());
     }
     Ok(())
 }
@@ -249,8 +329,12 @@ fn cmd_probe(flags: &HashMap<String, String>) -> Result<(), String> {
         println!(
             "  c={c}: utilization {:5.1}%  worst {:6.2} s  SSS {:5.1}",
             r.utilization().as_percent(),
-            r.worst_transfer_time().map(|t| t.as_secs()).unwrap_or(f64::NAN),
-            r.streaming_speed_score().map(|s| s.value()).unwrap_or(f64::NAN),
+            r.worst_transfer_time()
+                .map(|t| t.as_secs())
+                .unwrap_or(f64::NAN),
+            r.streaming_speed_score()
+                .map(|s| s.value())
+                .unwrap_or(f64::NAN),
         );
     }
     Ok(())
@@ -271,7 +355,7 @@ fn main() -> ExitCode {
         "decide" => cmd_decide(&flags),
         "tiers" => cmd_tiers(&flags),
         "plan" => cmd_plan(&flags),
-        "scenarios" => cmd_scenarios(),
+        "scenarios" => cmd_scenarios(&flags),
         "probe" => cmd_probe(&flags),
         "help" | "--help" | "-h" => {
             print!("{}", usage());

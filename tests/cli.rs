@@ -15,8 +15,19 @@ fn run(args: &[&str]) -> (bool, String, String) {
 }
 
 const DECIDE_ARGS: &[&str] = &[
-    "decide", "--data", "2GB", "--intensity", "17TF/GB", "--local", "10TF", "--remote", "340TF",
-    "--bw", "25Gbps", "--alpha", "0.8",
+    "decide",
+    "--data",
+    "2GB",
+    "--intensity",
+    "17TF/GB",
+    "--local",
+    "10TF",
+    "--remote",
+    "340TF",
+    "--bw",
+    "25Gbps",
+    "--alpha",
+    "0.8",
 ];
 
 #[test]
@@ -32,8 +43,19 @@ fn decide_streams_the_table3_workload() {
 #[test]
 fn decide_flags_infeasible_liquid_scattering() {
     let (ok, stdout, _) = run(&[
-        "decide", "--data", "4GB", "--intensity", "5TF/GB", "--local", "10TF", "--remote",
-        "200TF", "--bw", "25Gbps", "--alpha", "1.0",
+        "decide",
+        "--data",
+        "4GB",
+        "--intensity",
+        "5TF/GB",
+        "--local",
+        "10TF",
+        "--remote",
+        "200TF",
+        "--bw",
+        "25Gbps",
+        "--alpha",
+        "1.0",
     ]);
     assert!(ok);
     assert!(stdout.contains("Infeasible"), "{stdout}");
@@ -63,9 +85,12 @@ fn tiers_reports_all_three() {
     assert!(stdout.contains("OK"));
 }
 
+// Keep the CLI suite fast: one congestion level, one-second probes.
+const SCENARIOS_QUICK: &[&str] = &["scenarios", "--levels", "1", "--seconds", "1"];
+
 #[test]
 fn scenarios_lists_the_bundled_facilities() {
-    let (ok, stdout, _) = run(&["scenarios"]);
+    let (ok, stdout, _) = run(SCENARIOS_QUICK);
     assert!(ok);
     for id in [
         "lcls-coherent-scattering",
@@ -73,9 +98,45 @@ fn scenarios_lists_the_bundled_facilities() {
         "aps-tomography",
         "deleria-frib",
         "lhc-raw-trigger",
+        "aps-u-ptychography",
+        "diii-d-between-shot",
+        "cryoem-s3df",
+        "ska-low-pathfinder",
+        "climate-checkpoint-stream",
+        "lhc-hlt-stream",
+        "dune-protodune-stream",
     ] {
         assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
     }
+    // The suite renders the measured summary table after the catalog.
+    assert!(stdout.contains("SSS"), "{stdout}");
+    assert!(stdout.contains("util%"), "{stdout}");
+}
+
+#[test]
+fn scenarios_parallel_and_sequential_agree() {
+    let mut seq: Vec<&str> = SCENARIOS_QUICK.to_vec();
+    seq.extend_from_slice(&["--mode", "sequential"]);
+    let (ok_a, stdout_a, _) = run(SCENARIOS_QUICK);
+    let (ok_b, stdout_b, _) = run(&seq);
+    assert!(ok_a && ok_b);
+    assert_eq!(stdout_a, stdout_b, "parallel output must be bit-identical");
+}
+
+#[test]
+fn scenarios_markdown_format() {
+    let mut args: Vec<&str> = SCENARIOS_QUICK.to_vec();
+    args.extend_from_slice(&["--format", "md"]);
+    let (ok, stdout, _) = run(&args);
+    assert!(ok);
+    assert!(stdout.contains("| scenario |"), "{stdout}");
+}
+
+#[test]
+fn scenarios_rejects_bad_depth() {
+    let (ok, _, stderr) = run(&["scenarios", "--depth", "bottomless"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown depth"), "{stderr}");
 }
 
 #[test]
@@ -123,8 +184,21 @@ fn plan_reports_headroom_when_feasible() {
 #[test]
 fn plan_prescribes_compute_for_starved_workload() {
     let (ok, stdout, _) = run(&[
-        "plan", "--data", "2GB", "--intensity", "17TF/GB", "--local", "10TF", "--remote",
-        "1TF", "--bw", "25Gbps", "--alpha", "0.8", "--tier", "2",
+        "plan",
+        "--data",
+        "2GB",
+        "--intensity",
+        "17TF/GB",
+        "--local",
+        "10TF",
+        "--remote",
+        "1TF",
+        "--bw",
+        "25Gbps",
+        "--alpha",
+        "0.8",
+        "--tier",
+        "2",
     ]);
     assert!(ok);
     assert!(stdout.contains("NOT feasible"), "{stdout}");

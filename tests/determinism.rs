@@ -26,7 +26,10 @@ fn sweep_identical_across_worker_counts() {
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.concurrency, y.concurrency);
         assert_eq!(x.parallel_flows, y.parallel_flows);
-        assert_eq!(x.samples, y.samples, "per-transfer times must be bit-identical");
+        assert_eq!(
+            x.samples, y.samples,
+            "per-transfer times must be bit-identical"
+        );
         assert_eq!(x.worst_transfer_s, y.worst_transfer_s);
         assert_eq!(x.utilization, y.utilization);
     }
@@ -37,10 +40,7 @@ fn different_seeds_differ() {
     let a = sweep(&spec(11), 2);
     let b = sweep(&spec(12), 2);
     // Jitter differs → at least one cell's samples differ.
-    let any_diff = a
-        .iter()
-        .zip(&b)
-        .any(|(x, y)| x.samples != y.samples);
+    let any_diff = a.iter().zip(&b).any(|(x, y)| x.samples != y.samples);
     assert!(any_diff, "distinct seeds should perturb transfer times");
 }
 

@@ -24,10 +24,9 @@ fn mini_sweep(strategy: SpawnStrategy) -> Vec<stream_score::loadgen::SweepPoint>
 fn measured_curve_feeds_tier_analysis() {
     // Measure congestion on the simulated network.
     let points = mini_sweep(SpawnStrategy::Simultaneous);
-    let curve = CongestionCurve::from_points(
-        points.iter().map(|p| (p.utilization, p.sss())).collect(),
-    )
-    .expect("sweep yields curve");
+    let curve =
+        CongestionCurve::from_points(points.iter().map(|p| (p.utilization, p.sss())).collect())
+            .expect("sweep yields curve");
 
     // Apply it to a workload on the same class of link.
     let params = ModelParams::builder()
@@ -39,8 +38,8 @@ fn measured_curve_feeds_tier_analysis() {
         .alpha(Ratio::new(0.8))
         .build()
         .unwrap();
-    let util = params.required_stream_rate().as_bytes_per_sec()
-        / params.bandwidth.as_bytes_per_sec();
+    let util =
+        params.required_stream_rate().as_bytes_per_sec() / params.bandwidth.as_bytes_per_sec();
     let sss = curve.sss_at(util);
     assert!(sss.value() >= 1.0);
 
@@ -74,7 +73,10 @@ fn reserved_scheduling_tames_the_tail() {
     let batch = mini_sweep(SpawnStrategy::Simultaneous);
     let reserved = mini_sweep(SpawnStrategy::Reserved);
     let batch_worst = batch.iter().map(|p| p.worst_transfer_s).fold(0.0, f64::max);
-    let reserved_worst = reserved.iter().map(|p| p.worst_transfer_s).fold(0.0, f64::max);
+    let reserved_worst = reserved
+        .iter()
+        .map(|p| p.worst_transfer_s)
+        .fold(0.0, f64::max);
     assert!(
         reserved_worst < batch_worst,
         "reserved {reserved_worst} must beat simultaneous {batch_worst}"
@@ -84,17 +86,17 @@ fn reserved_scheduling_tames_the_tail() {
 #[test]
 fn paper_scenarios_decide_sanely() {
     // Table 3 row 2 is the canonical infeasibility example.
-    let liquid = Scenario::lcls_liquid_scattering();
+    let liquid = Scenario::by_id("lcls-liquid-scattering").unwrap();
     assert_eq!(decide(&liquid.params).decision, Decision::Infeasible);
 
     // Coherent scattering streams happily with a 34× remote machine.
-    let coherent = Scenario::lcls_coherent_scattering();
+    let coherent = Scenario::by_id("lcls-coherent-scattering").unwrap();
     let verdict = decide(&coherent.params);
     assert_eq!(verdict.decision, Decision::RemoteStream);
     assert!(verdict.gain.value() > 1.0);
 
     // LHC raw rates stay local, by a huge margin.
-    let lhc = Scenario::lhc_raw_trigger();
+    let lhc = Scenario::by_id("lhc-raw-trigger").unwrap();
     assert_eq!(decide(&lhc.params).decision, Decision::Infeasible);
 }
 
@@ -103,7 +105,10 @@ fn streaming_speed_score_roundtrip() {
     // Build an SSS from a mini-sweep worst case and check the model's
     // worst-case T_pct uses it coherently.
     let points = mini_sweep(SpawnStrategy::Simultaneous);
-    let worst = points.iter().map(|p| p.worst_transfer_s).fold(0.0, f64::max);
+    let worst = points
+        .iter()
+        .map(|p| p.worst_transfer_s)
+        .fold(0.0, f64::max);
     let sss = StreamingSpeedScore::from_measurement(
         TimeDelta::from_secs(worst),
         Bytes::from_mb(8.0),

@@ -63,11 +63,7 @@ fn fig3_shape_long_tail_under_congestion() {
 
 #[test]
 fn fig4_shape_streaming_vs_files() {
-    let scan = FrameSource::new(
-        144,
-        Bytes::from_mb(8.0),
-        TimeDelta::from_millis(33.0),
-    );
+    let scan = FrameSource::new(144, Bytes::from_mb(8.0), TimeDelta::from_millis(33.0));
     let stream = StreamingPipeline::new(scan, presets::aps_alcf_wan()).run();
     let one = FileBasedPipeline::new(scan, 1, presets::aps_to_alcf()).run();
     let many = FileBasedPipeline::new(scan, 144, presets::aps_to_alcf()).run();

@@ -24,7 +24,10 @@ fn alpha_improves_with_transfer_length() {
     let short = measure_alpha(1.0);
     let long = measure_alpha(50.0);
     assert!(long > short, "alpha long {long} vs short {short}");
-    assert!(long > 0.8, "long transfers should be near line rate, got {long}");
+    assert!(
+        long > 0.8,
+        "long transfers should be near line rate, got {long}"
+    );
     assert!(short > 0.05 && short < 1.0);
 }
 

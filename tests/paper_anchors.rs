@@ -51,7 +51,7 @@ fn table1_testbed_constants() {
 
 #[test]
 fn table3_coherent_scattering_34tf_per_2gb() {
-    let s = Scenario::lcls_coherent_scattering();
+    let s = Scenario::by_id("lcls-coherent-scattering").unwrap();
     let work = s.params.intensity * s.params.data_unit;
     assert!((work.as_tflop() - 34.0).abs() < 1e-9);
     assert!((s.params.required_stream_rate().as_gigabytes_per_sec() - 2.0).abs() < 1e-12);
@@ -59,7 +59,7 @@ fn table3_coherent_scattering_34tf_per_2gb() {
 
 #[test]
 fn table3_liquid_scattering_20tf_per_4gb_is_32gbps() {
-    let s = Scenario::lcls_liquid_scattering();
+    let s = Scenario::by_id("lcls-liquid-scattering").unwrap();
     let work = s.params.intensity * s.params.data_unit;
     assert!((work.as_tflop() - 20.0).abs() < 1e-9);
     // "Obviously 4 GB/s (32 Gbps) would be unfeasible because it is
@@ -74,7 +74,7 @@ fn table3_liquid_scattering_20tf_per_4gb_is_32gbps() {
 fn coherent_scattering_at_64pct_with_1_2s_worst_leaves_8_8s() {
     // The paper's own numbers: a 1.2 s worst-case stream against the
     // 10 s Tier-2 budget leaves 8.8 s for analysis.
-    let s = Scenario::lcls_coherent_scattering();
+    let s = Scenario::by_id("lcls-coherent-scattering").unwrap();
     // 1.2 s on the 0.64 s theoretical time of 2 GB at 25 Gbps.
     let sss = Ratio::new(1.2 / 0.64);
     let report = TierReport::evaluate(&s.params, sss, Tier::NearRealTime).unwrap();
@@ -85,10 +85,10 @@ fn coherent_scattering_at_64pct_with_1_2s_worst_leaves_8_8s() {
 
 #[test]
 fn liquid_scattering_reduced_at_96pct_with_6s_worst_leaves_4s() {
-    let s = Scenario::lcls_liquid_scattering_reduced();
+    let s = Scenario::by_id("lcls-liquid-scattering-reduced").unwrap();
     // 96% utilization of 25 Gbps by a 3 GB unit: theoretical 0.96 s.
-    let util = s.params.required_stream_rate().as_bytes_per_sec()
-        / s.params.bandwidth.as_bytes_per_sec();
+    let util =
+        s.params.required_stream_rate().as_bytes_per_sec() / s.params.bandwidth.as_bytes_per_sec();
     assert!((util - 0.96).abs() < 1e-9);
     let sss = Ratio::new(6.0 / 0.96);
     let report = TierReport::evaluate(&s.params, sss, Tier::NearRealTime).unwrap();
