@@ -1,0 +1,196 @@
+//! E-X5 — decision-service scaling: closed-loop `/decide` throughput vs
+//! worker count, and the memoized decision cache against the uncached
+//! baseline on repeated facility queries.
+//!
+//! Each cell starts a fresh in-process `sss-server` on an OS-assigned
+//! port, drives it with the `sss-loadgen` closed-loop HTTP driver, and
+//! tears it down. Results render as tables and persist as CSV + JSON
+//! under `results/`. Honors `SSS_SEED` and `SSS_QUICK` like the other
+//! regenerators.
+
+use serde::Serialize;
+use sss_bench::{quick, results_dir, seed};
+use sss_loadgen::{run_http_load, HttpLoadReport, HttpLoadSpec};
+use sss_report::{write_json, CsvWriter, Table};
+use sss_server::{Server, ServerConfig};
+
+/// One measured cell of either experiment.
+#[derive(Debug, Clone, Serialize)]
+struct Cell {
+    experiment: &'static str,
+    workers: usize,
+    cache_capacity: usize,
+    distinct_workloads: usize,
+    requests: u64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Start a server sized `(workers, cache_capacity)`, run `spec` against
+/// it, and collapse the outcome into a [`Cell`].
+fn measure(
+    experiment: &'static str,
+    workers: usize,
+    cache_capacity: usize,
+    clients: usize,
+    requests_per_client: usize,
+    distinct_workloads: usize,
+) -> Cell {
+    let server = Server::bind(ServerConfig {
+        port: 0,
+        workers,
+        cache_capacity,
+        max_batch: 32,
+    })
+    .expect("bind in-process server");
+    let addr = server.local_addr().to_string();
+    // Snapshot cache counters through the library (not /healthz) so the
+    // probe itself does not perturb the request count.
+    let spec = HttpLoadSpec {
+        addr,
+        clients,
+        requests_per_client,
+        distinct_workloads,
+        seed: seed(),
+    };
+    let handle = server.spawn();
+    let report: HttpLoadReport = run_http_load(&spec).expect("load run completes");
+    let health = fetch_health(&spec.addr);
+    handle.shutdown();
+
+    Cell {
+        experiment,
+        workers,
+        cache_capacity,
+        distinct_workloads,
+        requests: report.ok + report.errors,
+        throughput_rps: report.throughput_rps,
+        p50_ms: report.latency.p50 * 1e3,
+        p99_ms: report.latency.p99 * 1e3,
+        max_ms: report.latency.max * 1e3,
+        cache_hits: health.cache.hits,
+        cache_misses: health.cache.misses,
+    }
+}
+
+/// One throwaway `/healthz` round-trip for the cache counters.
+fn fetch_health(addr: &str) -> sss_server::Health {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect for healthz");
+    write!(stream, "GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n").expect("send healthz");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read healthz response");
+    let body = response
+        .split("\r\n\r\n")
+        .nth(1)
+        .expect("healthz response has a body");
+    serde_json::from_str(body).expect("healthz body parses")
+}
+
+fn main() {
+    let (clients, requests_per_client) = if quick() { (4, 50) } else { (8, 500) };
+    let worker_counts = [1usize, 2, 4, 8];
+
+    // Experiment A: throughput vs worker count, cache-hostile mix (more
+    // distinct workloads than total requests would ever repeat cheaply).
+    eprintln!("scaling: {clients} clients × {requests_per_client} requests per cell...");
+    let hostile_pool = 256;
+    let scaling: Vec<Cell> = worker_counts
+        .iter()
+        .map(|&w| measure("workers", w, 0, clients, requests_per_client, hostile_pool))
+        .collect();
+
+    // Experiment B: memoized cache vs uncached baseline on a repetitive
+    // facility mix (8 distinct questions asked over and over).
+    let repeat_pool = 8;
+    let cached: Vec<Cell> = [0usize, 4096]
+        .iter()
+        .map(|&cap| measure("cache", 4, cap, clients, requests_per_client, repeat_pool))
+        .collect();
+
+    let mut scaling_table = Table::new(["workers", "req/s", "p50 ms", "p99 ms", "max ms"])
+        .with_title(
+            "Decision-service throughput vs worker count (uncached, 256 distinct workloads)",
+        );
+    for c in &scaling {
+        scaling_table.row([
+            c.workers.to_string(),
+            format!("{:.0}", c.throughput_rps),
+            format!("{:.3}", c.p50_ms),
+            format!("{:.3}", c.p99_ms),
+            format!("{:.3}", c.max_ms),
+        ]);
+    }
+    println!("{}", scaling_table.to_text());
+
+    let mut cache_table = Table::new(["cache", "req/s", "p50 ms", "p99 ms", "hits", "misses"])
+        .with_title(
+            "Memoized decision cache vs uncached baseline (4 workers, 8 distinct workloads)",
+        );
+    for c in &cached {
+        cache_table.row([
+            if c.cache_capacity == 0 {
+                "off".to_string()
+            } else {
+                format!("{} entries", c.cache_capacity)
+            },
+            format!("{:.0}", c.throughput_rps),
+            format!("{:.3}", c.p50_ms),
+            format!("{:.3}", c.p99_ms),
+            c.cache_hits.to_string(),
+            c.cache_misses.to_string(),
+        ]);
+    }
+    println!("{}", cache_table.to_text());
+
+    let uncached = &cached[0];
+    let memoized = &cached[1];
+    println!(
+        "cache speedup on the repetitive mix: {:.2}× throughput ({:.0} vs {:.0} req/s)",
+        memoized.throughput_rps / uncached.throughput_rps,
+        memoized.throughput_rps,
+        uncached.throughput_rps
+    );
+
+    let dir = results_dir();
+    let mut csv = CsvWriter::new([
+        "experiment",
+        "workers",
+        "cache_capacity",
+        "distinct_workloads",
+        "requests",
+        "throughput_rps",
+        "p50_ms",
+        "p99_ms",
+        "max_ms",
+        "cache_hits",
+        "cache_misses",
+    ]);
+    for c in scaling.iter().chain(&cached) {
+        csv.row([
+            c.experiment.to_string(),
+            c.workers.to_string(),
+            c.cache_capacity.to_string(),
+            c.distinct_workloads.to_string(),
+            c.requests.to_string(),
+            format!("{}", c.throughput_rps),
+            format!("{}", c.p50_ms),
+            format!("{}", c.p99_ms),
+            format!("{}", c.max_ms),
+            c.cache_hits.to_string(),
+            c.cache_misses.to_string(),
+        ]);
+    }
+    let csv_path = dir.join("server_scaling.csv");
+    csv.write_to(&csv_path).expect("write server_scaling.csv");
+    let json_path = dir.join("server_scaling.json");
+    let all: Vec<&Cell> = scaling.iter().chain(&cached).collect();
+    write_json(&json_path, &all).expect("write server_scaling.json");
+    eprintln!("wrote {} and {}", csv_path.display(), json_path.display());
+}

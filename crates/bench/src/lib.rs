@@ -11,6 +11,24 @@
 //! * `SSS_SEED` — master seed (default 42).
 //! * `SSS_QUICK` — set to shrink grids ~10× for a fast smoke pass.
 //! * `SSS_RESULTS_DIR` — output directory (default `results/`).
+//!
+//! # Example
+//!
+//! The shared helpers glue a measured sweep to the analytic model — e.g.
+//! turning Figure 2(a)'s points into the congestion curve `plan` uses:
+//!
+//! ```no_run
+//! use sss_bench::{congestion_curve, figure2_sweep};
+//! use sss_loadgen::SpawnStrategy;
+//!
+//! let points = figure2_sweep(SpawnStrategy::Simultaneous);
+//! let curve = congestion_curve(&points);
+//! assert!(curve.sss_at(0.5).value() >= 1.0);
+//! ```
+//!
+//! (`no_run`: the full sweep takes minutes; the regenerator binaries are
+//! the intended entry point — `cargo run --release -p sss-bench --bin
+//! sweep_all`, or `--bin server_scaling` for the decision-service bench.)
 
 use std::path::PathBuf;
 

@@ -22,6 +22,34 @@
 //!   (the announced future work on variability).
 //! * [`scenario`] — named facility workloads: LCLS-II (Table 3), APS,
 //!   DELERIA/FRIB, LHC.
+//!
+//! # Example
+//!
+//! The paper's Table 3 coherent-scattering workload, end to end:
+//!
+//! ```
+//! use sss_core::{decide, BreakEven, Decision, ModelParams};
+//! use sss_units::{Bytes, ComputeIntensity, FlopRate, Rate, Ratio};
+//!
+//! let params = ModelParams::builder()
+//!     .data_unit(Bytes::from_gb(2.0))
+//!     .intensity(ComputeIntensity::from_tflop_per_gb(17.0))
+//!     .local_rate(FlopRate::from_tflops(10.0))
+//!     .remote_rate(FlopRate::from_tflops(340.0))
+//!     .bandwidth(Rate::from_gbps(25.0))
+//!     .alpha(Ratio::new(0.8))
+//!     .build()
+//!     .unwrap();
+//!
+//! let report = decide(&params);
+//! assert_eq!(report.decision, Decision::RemoteStream);
+//!
+//! // Where the decision would flip back to local:
+//! let be = BreakEven::of(&params);
+//! assert!(be.r_star.unwrap().value() > 1.0);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod congestion;
 pub mod decision;

@@ -1,0 +1,378 @@
+//! Closed-loop HTTP load driver for the `sss-server` decision service.
+//!
+//! Mirrors the iperf3-style methodology the rest of this crate applies to
+//! the network simulator, but against a *real* socket: `clients` threads
+//! each hold one persistent HTTP/1.1 connection and issue `POST /decide`
+//! requests back-to-back (closed loop — a client sends its next request
+//! only after the previous response arrives). Latency is measured per
+//! request from first byte written to last body byte read, and the run
+//! reports throughput plus the same tail digest
+//! ([`TailMetrics`](sss_stats::TailMetrics)) the paper uses for transfer
+//! times — the service is judged by the standard it preaches: worst case,
+//! not average.
+//!
+//! The request mix cycles deterministically through `distinct_workloads`
+//! parameter sets derived from the scenario registry (seed-rotated), so
+//! the expected cache-hit fraction is controlled: with `w` workloads and
+//! `n` total requests, a memoizing server sees exactly `w` misses.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use sss_core::{ModelParams, Scenario};
+use sss_exec::SeedSequence;
+use sss_stats::{Summary, TailMetrics};
+use sss_units::Ratio;
+
+/// What to run: target address, concurrency, volume, and request mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpLoadSpec {
+    /// Server address, e.g. `"127.0.0.1:8080"`.
+    pub addr: String,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Size of the workload pool the clients cycle through; small values
+    /// make the run cache-friendly, large values cache-hostile.
+    pub distinct_workloads: usize,
+    /// Seed rotating which registry scenarios anchor the workload pool.
+    pub seed: u64,
+}
+
+impl HttpLoadSpec {
+    /// A short smoke run against `addr`: 4 clients × 50 requests over 8
+    /// distinct workloads.
+    pub fn smoke(addr: impl Into<String>) -> Self {
+        HttpLoadSpec {
+            addr: addr.into(),
+            clients: 4,
+            requests_per_client: 50,
+            distinct_workloads: 8,
+            seed: 42,
+        }
+    }
+
+    /// Reject degenerate configurations before opening sockets.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clients == 0 || self.requests_per_client == 0 {
+            return Err("clients and requests must be positive".into());
+        }
+        if self.distinct_workloads == 0 {
+            return Err("need at least one distinct workload".into());
+        }
+        Ok(())
+    }
+
+    /// The deterministic workload pool: registry scenarios (seed-rotated)
+    /// with a small alpha perturbation so pool entries stay distinct even
+    /// when the pool is larger than the registry.
+    pub fn workloads(&self) -> Vec<ModelParams> {
+        let registry = Scenario::all();
+        let rotation = SeedSequence::new(self.seed).seed(0) as usize % registry.len();
+        (0..self.distinct_workloads)
+            .map(|i| {
+                let scenario = &registry[(rotation + i) % registry.len()];
+                let mut params = scenario.params;
+                // Shrink alpha strictly per generation: injective in the
+                // generation, so pool entries stay distinct (and cache
+                // misses stay exactly `distinct_workloads`) no matter how
+                // far the pool outgrows the registry, while alpha remains
+                // in (0, 1].
+                let generation = (i / registry.len()) as f64;
+                let scale = 1.0 / (1.0 + 0.01 * generation);
+                params.alpha = Ratio::new(params.alpha.value() * scale);
+                params
+            })
+            .collect()
+    }
+}
+
+/// What one run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpLoadReport {
+    /// The spec that produced this report.
+    pub spec: HttpLoadSpec,
+    /// Requests answered with `200`.
+    pub ok: u64,
+    /// Requests answered with any other status.
+    pub errors: u64,
+    /// Wall-clock duration of the whole run, seconds.
+    pub elapsed_s: f64,
+    /// `ok / elapsed`: sustained request throughput.
+    pub throughput_rps: f64,
+    /// Per-request latency digest, seconds.
+    pub latency: TailMetrics,
+    /// Streaming mean/min/max of the same latencies, seconds.
+    pub summary: Summary,
+}
+
+struct ClientOutcome {
+    ok: u64,
+    errors: u64,
+    latencies_s: Vec<f64>,
+}
+
+/// Read one HTTP response (status line, headers, `Content-Length` body)
+/// and return its status code and body.
+fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<(u16, Vec<u8>)> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned());
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(bad("connection closed before status line"));
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("connection closed inside headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad content-length"))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((status, body))
+}
+
+/// One client's closed loop over its persistent connection.
+fn run_client(
+    spec: &HttpLoadSpec,
+    client: usize,
+    bodies: &[String],
+) -> std::io::Result<ClientOutcome> {
+    let stream = TcpStream::connect(&spec.addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut outcome = ClientOutcome {
+        ok: 0,
+        errors: 0,
+        latencies_s: Vec::with_capacity(spec.requests_per_client),
+    };
+    for k in 0..spec.requests_per_client {
+        // Stripe the pool across clients so concurrent requests mix
+        // workloads instead of marching in lockstep.
+        let body = &bodies[(client + k * spec.clients) % bodies.len()];
+        let started = Instant::now();
+        write!(
+            writer,
+            "POST /decide HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+        writer.flush()?;
+        let (status, _body) = read_response(&mut reader)?;
+        outcome.latencies_s.push(started.elapsed().as_secs_f64());
+        if status == 200 {
+            outcome.ok += 1;
+        } else {
+            outcome.errors += 1;
+        }
+    }
+    Ok(outcome)
+}
+
+/// Run the closed-loop load and aggregate every client's measurements.
+///
+/// Fails if the spec is degenerate or any client cannot connect; a
+/// connected client that later hits an I/O error surfaces that error too
+/// (partial results are not reported — a half-run throughput number would
+/// mislead).
+pub fn run_http_load(spec: &HttpLoadSpec) -> Result<HttpLoadReport, String> {
+    spec.validate()?;
+    let bodies: Vec<String> = spec
+        .workloads()
+        .iter()
+        .map(|p| serde_json::to_string(&ModelParamsBody::from(p)).expect("request body serializes"))
+        .collect();
+
+    let started = Instant::now();
+    let outcomes: Vec<Result<ClientOutcome, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.clients)
+            .map(|client| {
+                let bodies = &bodies;
+                scope.spawn(move || {
+                    run_client(spec, client, bodies).map_err(|e| format!("client {client}: {e}"))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread completes"))
+            .collect()
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let mut ok = 0;
+    let mut errors = 0;
+    let mut latencies = Vec::with_capacity(spec.clients * spec.requests_per_client);
+    for outcome in outcomes {
+        let outcome = outcome?;
+        ok += outcome.ok;
+        errors += outcome.errors;
+        latencies.extend(outcome.latencies_s);
+    }
+    let latency =
+        TailMetrics::from_samples(&latencies).ok_or_else(|| "no latencies measured".to_string())?;
+    Ok(HttpLoadReport {
+        spec: spec.clone(),
+        ok,
+        errors,
+        elapsed_s,
+        throughput_rps: ok as f64 / elapsed_s.max(f64::MIN_POSITIVE),
+        latency,
+        summary: Summary::from_samples(&latencies),
+    })
+}
+
+/// The `/decide` body in paper units (mirrors `sss_server::DecideRequest`
+/// without depending on the server crate — the driver can point at any
+/// host speaking the protocol).
+#[derive(serde::Serialize)]
+struct ModelParamsBody {
+    data_gb: f64,
+    intensity_tflop_per_gb: f64,
+    local_tflops: f64,
+    remote_tflops: f64,
+    bandwidth_gbps: f64,
+    alpha: f64,
+    theta: f64,
+}
+
+impl From<&ModelParams> for ModelParamsBody {
+    fn from(p: &ModelParams) -> Self {
+        ModelParamsBody {
+            data_gb: p.data_unit.as_gb(),
+            intensity_tflop_per_gb: p.intensity.as_tflop_per_gb(),
+            local_tflops: p.local_rate.as_tflops(),
+            remote_tflops: p.remote_rate.as_tflops(),
+            bandwidth_gbps: p.bandwidth.as_gbps(),
+            alpha: p.alpha.value(),
+            theta: p.theta.value(),
+        }
+    }
+}
+
+/// Render a load report as the standard results table (milliseconds for
+/// the latency columns).
+pub fn loadtest_table(report: &HttpLoadReport) -> sss_report::Table {
+    let ms = |s: f64| format!("{:.3}", s * 1e3);
+    let mut table = sss_report::Table::new([
+        "clients",
+        "requests",
+        "ok",
+        "errors",
+        "elapsed s",
+        "req/s",
+        "p50 ms",
+        "p90 ms",
+        "p99 ms",
+        "max ms",
+    ])
+    .with_title(format!(
+        "Closed-loop /decide load against {} ({} distinct workloads)",
+        report.spec.addr, report.spec.distinct_workloads
+    ));
+    table.row([
+        report.spec.clients.to_string(),
+        (report.ok + report.errors).to_string(),
+        report.ok.to_string(),
+        report.errors.to_string(),
+        format!("{:.3}", report.elapsed_s),
+        format!("{:.0}", report.throughput_rps),
+        ms(report.latency.p50),
+        ms(report.latency.p90),
+        ms(report.latency.p99),
+        ms(report.latency.max),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_pool_is_deterministic_and_distinct() {
+        let spec = HttpLoadSpec::smoke("unused");
+        let a = spec.workloads();
+        let b = spec.workloads();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        for (i, p) in a.iter().enumerate() {
+            for q in &a[i + 1..] {
+                assert_ne!(p, q, "pool entries must be distinct");
+            }
+            p.validated().expect("pool entries stay valid");
+        }
+    }
+
+    #[test]
+    fn big_pool_stays_valid_and_distinct() {
+        let mut spec = HttpLoadSpec::smoke("unused");
+        spec.distinct_workloads = 256; // ~20 generations over 13 scenarios
+        let pool = spec.workloads();
+        assert_eq!(pool.len(), 256);
+        for (i, p) in pool.iter().enumerate() {
+            p.validated().expect("valid");
+            for q in &pool[i + 1..] {
+                assert_ne!(p, q);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_rotate_the_pool() {
+        let a = HttpLoadSpec {
+            seed: 1,
+            ..HttpLoadSpec::smoke("unused")
+        };
+        let b = HttpLoadSpec {
+            seed: 2,
+            ..HttpLoadSpec::smoke("unused")
+        };
+        assert_ne!(a.workloads(), b.workloads());
+    }
+
+    #[test]
+    fn degenerate_specs_rejected() {
+        let mut spec = HttpLoadSpec::smoke("unused");
+        spec.clients = 0;
+        assert!(spec.validate().is_err());
+        let mut spec = HttpLoadSpec::smoke("unused");
+        spec.distinct_workloads = 0;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn response_reader_parses_framed_body() {
+        let wire = b"HTTP/1.1 200 OK\r\ncontent-length: 5\r\n\r\nhello";
+        let (status, body) = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"hello");
+    }
+
+    #[test]
+    fn response_reader_rejects_garbage() {
+        let wire = b"not http\r\n\r\n";
+        assert!(read_response(&mut BufReader::new(&wire[..])).is_err());
+    }
+}

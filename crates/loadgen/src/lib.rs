@@ -15,12 +15,43 @@
 //! completion of its **last** parallel flow (iperf3 reports the session,
 //! not per-flow, time). The maximum across clients is the worst-case
 //! `T_worst` the Streaming Speed Score needs.
+//!
+//! The same closed-loop discipline also drives the real `sss-server`
+//! decision service over HTTP: [`HttpLoadSpec`]/[`run_http_load`] measure
+//! request throughput and per-request latency tails against a live
+//! socket.
+//!
+//! # Example
+//!
+//! One congested second on the simulated testbed:
+//!
+//! ```
+//! use sss_loadgen::{Experiment, SpawnStrategy};
+//! use sss_netsim::SimConfig;
+//! use sss_units::Bytes;
+//!
+//! let result = Experiment {
+//!     config: SimConfig::small_test(),
+//!     duration_s: 1,
+//!     concurrency: 2,
+//!     parallel_flows: 2,
+//!     bytes_per_client: Bytes::from_mb(1.0),
+//!     strategy: SpawnStrategy::Simultaneous,
+//!     start_jitter: 0.002,
+//!     seed: 42,
+//! }
+//! .run();
+//! assert!(result.utilization().value() > 0.0);
+//! assert!(result.worst_transfer_time().is_some());
+//! ```
 
 mod experiment;
+mod httpload;
 mod suite;
 mod sweep;
 
 pub use experiment::{ClientRecord, Experiment, ExperimentResult, SpawnStrategy, TransferLog};
+pub use httpload::{loadtest_table, run_http_load, HttpLoadReport, HttpLoadSpec};
 pub use suite::{
     suite_csv, summary_table, CongestionPoint, IoSummary, ScenarioEvaluation, ScenarioSuite,
     SuiteConfig,

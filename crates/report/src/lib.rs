@@ -3,6 +3,21 @@
 //! The benchmark binaries regenerate each of the paper's tables and
 //! figures as terminal output plus machine-readable files under
 //! `results/`; this crate is the rendering layer they share.
+//!
+//! # Example
+//!
+//! ```
+//! use sss_report::Table;
+//!
+//! let mut table = Table::new(["tier", "budget"]).with_title("Latency tiers");
+//! table.row(["1 (real-time)", "< 1 s"]);
+//! table.row(["2 (near real-time)", "< 10 s"]);
+//!
+//! let text = table.to_text();
+//! assert!(text.contains("Latency tiers"));
+//! // The same table renders as GitHub-flavored markdown for reports.
+//! assert!(table.to_markdown().contains("| tier |"));
+//! ```
 
 mod csv;
 mod plot;

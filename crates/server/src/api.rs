@@ -1,0 +1,264 @@
+//! Wire types for the decision service: request and response bodies.
+//!
+//! Requests use the paper's own units (GB, TF/GB, TFLOPS, Gbps) as flat
+//! JSON numbers — the same convention as [`sss_core::ScenarioSpec`] — so a
+//! facility operator can POST the row of Table 3 they care about without
+//! converting anything. Responses embed the analytic types of `sss-core`
+//! (`DecisionReport`, `BreakEven`, `Sensitivity`, `TierReport`) verbatim.
+
+use serde::{Deserialize, Serialize};
+use sss_core::{
+    decide, BreakEven, Decision, DecisionReport, ModelParams, ParamError, Scenario, Sensitivity,
+    Tier, TierReport,
+};
+use sss_units::{Bytes, ComputeIntensity, FlopRate, Rate, Ratio};
+
+fn default_theta() -> f64 {
+    1.0
+}
+
+/// Body of `POST /decide`: one workload in paper units.
+///
+/// `theta` defaults to 1 (pure streaming, no file-I/O inflation) when the
+/// field is omitted, mirroring the CLI's optional `--theta`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecideRequest {
+    /// `S_unit` in decimal gigabytes.
+    pub data_gb: f64,
+    /// `C` in TFLOP per GB of data.
+    pub intensity_tflop_per_gb: f64,
+    /// `R_local` in TFLOPS.
+    pub local_tflops: f64,
+    /// `R_remote` in TFLOPS.
+    pub remote_tflops: f64,
+    /// `Bw` in Gbps.
+    pub bandwidth_gbps: f64,
+    /// `α`: transfer efficiency in `(0, 1]`.
+    pub alpha: f64,
+    /// `θ`: file-I/O overhead coefficient (defaults to 1).
+    #[serde(default = "default_theta")]
+    pub theta: f64,
+}
+
+impl DecideRequest {
+    /// Validate the request into typed model parameters.
+    pub fn params(&self) -> Result<ModelParams, ParamError> {
+        ModelParams::builder()
+            .data_unit(Bytes::from_gb(self.data_gb))
+            .intensity(ComputeIntensity::from_tflop_per_gb(
+                self.intensity_tflop_per_gb,
+            ))
+            .local_rate(FlopRate::from_tflops(self.local_tflops))
+            .remote_rate(FlopRate::from_tflops(self.remote_tflops))
+            .bandwidth(Rate::from_gbps(self.bandwidth_gbps))
+            .alpha(Ratio::new(self.alpha))
+            .theta(Ratio::new(self.theta))
+            .build()
+    }
+
+    /// The request that round-trips to `params` (used by the load driver
+    /// and tests to build request bodies from registry scenarios).
+    pub fn from_params(p: &ModelParams) -> Self {
+        DecideRequest {
+            data_gb: p.data_unit.as_gb(),
+            intensity_tflop_per_gb: p.intensity.as_tflop_per_gb(),
+            local_tflops: p.local_rate.as_tflops(),
+            remote_tflops: p.remote_rate.as_tflops(),
+            bandwidth_gbps: p.bandwidth.as_gbps(),
+            alpha: p.alpha.value(),
+            theta: p.theta.value(),
+        }
+    }
+}
+
+/// Body of a `200` response to `POST /decide`.
+///
+/// Matches the CLI's `decide` output: the verdict with its justification,
+/// plus break-even boundaries and parameter sensitivities whenever the
+/// stream is feasible at all (both are omitted for `Infeasible` workloads,
+/// where no boundary is meaningful).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecideResponse {
+    /// The verdict and the numbers that drove it.
+    pub report: DecisionReport,
+    /// Where the decision flips; absent for infeasible workloads.
+    pub break_even: Option<BreakEven>,
+    /// Elasticities of `T_pct`; absent for infeasible workloads.
+    pub sensitivity: Option<Sensitivity>,
+}
+
+impl DecideResponse {
+    /// Evaluate one workload. Pure: identical parameters always produce an
+    /// identical response, which is what makes the decision cache sound.
+    pub fn evaluate(params: &ModelParams) -> Self {
+        let report = decide(params);
+        let feasible = report.decision != Decision::Infeasible;
+        DecideResponse {
+            report,
+            break_even: feasible.then(|| BreakEven::of(params)),
+            sensitivity: feasible.then(|| Sensitivity::of(params)),
+        }
+    }
+}
+
+/// Body of `POST /tiers`: a workload plus the measured worst-case
+/// inflation (Streaming Speed Score, Eq. 11) to bound the transfer by.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TiersRequest {
+    /// The workload in paper units.
+    pub workload: DecideRequest,
+    /// Worst-case transfer inflation (`>= 1`, e.g. `7.5`).
+    pub sss: f64,
+}
+
+/// Body of a `200` response to `POST /tiers`: the three budgeted tiers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TiersResponse {
+    /// The inflation the evaluation assumed.
+    pub sss: f64,
+    /// One report per budgeted tier (real-time, near, quasi).
+    pub tiers: Vec<TierReport>,
+}
+
+impl TiersResponse {
+    /// Evaluate the workload against every budgeted tier.
+    pub fn evaluate(params: &ModelParams, sss: Ratio) -> Self {
+        let tiers = [Tier::RealTime, Tier::NearRealTime, Tier::QuasiRealTime]
+            .iter()
+            .filter_map(|t| TierReport::evaluate(params, sss, *t))
+            .collect();
+        TiersResponse {
+            sss: sss.value(),
+            tiers,
+        }
+    }
+}
+
+/// One catalog entry in the `GET /scenarios` response: the registered
+/// scenario together with its analytic verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioEntry {
+    /// The registered scenario (identity, provenance, parameters, tier).
+    pub scenario: Scenario,
+    /// The decision the model reaches for it.
+    pub decision: DecisionReport,
+}
+
+/// Body of a `200` response to `GET /scenarios`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenariosResponse {
+    /// Number of registered scenarios.
+    pub count: usize,
+    /// The catalog, in registry order.
+    pub scenarios: Vec<ScenarioEntry>,
+}
+
+impl ScenariosResponse {
+    /// Evaluate the bundled registry (computed once at server start).
+    pub fn bundled() -> Self {
+        let scenarios: Vec<ScenarioEntry> = Scenario::all()
+            .into_iter()
+            .map(|scenario| {
+                let decision = decide(&scenario.params);
+                ScenarioEntry { scenario, decision }
+            })
+            .collect();
+        ScenariosResponse {
+            count: scenarios.len(),
+            scenarios,
+        }
+    }
+}
+
+/// Body of every non-`200` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// What went wrong, suitable for showing to the caller.
+    pub error: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table3() -> DecideRequest {
+        DecideRequest {
+            data_gb: 2.0,
+            intensity_tflop_per_gb: 17.0,
+            local_tflops: 10.0,
+            remote_tflops: 340.0,
+            bandwidth_gbps: 25.0,
+            alpha: 0.8,
+            theta: 1.0,
+        }
+    }
+
+    #[test]
+    fn request_roundtrips_to_params() {
+        let req = table3();
+        let params = req.params().unwrap();
+        assert_eq!(DecideRequest::from_params(&params), req);
+    }
+
+    #[test]
+    fn theta_defaults_to_one() {
+        let req: DecideRequest = serde_json::from_str(
+            r#"{"data_gb":2.0,"intensity_tflop_per_gb":17.0,"local_tflops":10.0,
+                "remote_tflops":340.0,"bandwidth_gbps":25.0,"alpha":0.8}"#,
+        )
+        .unwrap();
+        assert_eq!(req.theta, 1.0);
+    }
+
+    #[test]
+    fn invalid_alpha_rejected() {
+        let mut req = table3();
+        req.alpha = 1.5;
+        assert_eq!(req.params().unwrap_err().parameter, "alpha");
+    }
+
+    #[test]
+    fn feasible_response_has_boundaries() {
+        let resp = DecideResponse::evaluate(&table3().params().unwrap());
+        assert_eq!(resp.report.decision, Decision::RemoteStream);
+        assert!(resp.break_even.is_some());
+        assert!(resp.sensitivity.is_some());
+    }
+
+    #[test]
+    fn infeasible_response_omits_boundaries() {
+        let mut req = table3();
+        req.data_gb = 4.0; // 32 Gbps demanded on a 25 Gbps link
+        req.alpha = 1.0;
+        let resp = DecideResponse::evaluate(&req.params().unwrap());
+        assert_eq!(resp.report.decision, Decision::Infeasible);
+        assert!(resp.break_even.is_none());
+        assert!(resp.sensitivity.is_none());
+    }
+
+    #[test]
+    fn tiers_cover_three_budgets() {
+        let params = table3().params().unwrap();
+        let resp = TiersResponse::evaluate(&params, Ratio::new(7.5));
+        assert_eq!(resp.tiers.len(), 3);
+        assert_eq!(resp.tiers[0].tier, Tier::RealTime);
+    }
+
+    #[test]
+    fn scenarios_match_registry() {
+        let resp = ScenariosResponse::bundled();
+        assert_eq!(resp.count, Scenario::all().len());
+        assert!(resp
+            .scenarios
+            .iter()
+            .any(|e| e.scenario.id == "lcls-coherent-scattering"));
+    }
+
+    #[test]
+    fn decide_response_serde_roundtrip() {
+        let resp = DecideResponse::evaluate(&table3().params().unwrap());
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: DecideResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(resp, back);
+    }
+}

@@ -1,0 +1,241 @@
+//! Sharded, memoized decision cache keyed on quantized model parameters.
+//!
+//! The decision model is pure, so the serialized response for a parameter
+//! set never changes — repeated facility queries can be answered from
+//! memory in O(1) instead of re-deriving the break-even boundaries and
+//! sensitivities. Two design points matter:
+//!
+//! * **Quantized keys.** Operators re-ask the same question with floats
+//!   that differ in the last bits (`0.8` vs `0.8000000000000001`, a GB
+//!   computed two ways). Keys quantize every parameter to 9 significant
+//!   decimal digits, so physically-identical workloads share an entry
+//!   while any meaningful change (well above measurement precision) maps
+//!   to a new one.
+//! * **Sharding.** The cache sits on the hot path of every `/decide`
+//!   batch; a single mutex would serialize the whole pool. Keys hash to
+//!   one of [`SHARDS`] independently-locked shards, so concurrent batches
+//!   contend only when they touch the same shard.
+//!
+//! Entries store the *serialized* response body (`Arc<str>`), not the
+//! response struct: a cache hit returns the exact bytes the miss produced,
+//! which is what makes responses byte-identical across worker counts and
+//! across the hit/miss boundary.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use sss_core::ModelParams;
+
+/// Number of independently-locked shards.
+pub const SHARDS: usize = 16;
+
+/// A cache key: the seven model parameters, each quantized to 9
+/// significant decimal digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey([u64; 7]);
+
+/// Quantize one component to 9 significant decimal digits.
+fn quantize(v: f64) -> u64 {
+    if v == 0.0 {
+        return 0;
+    }
+    // Round-trip through scientific notation with 8 fractional digits
+    // (9 significant): cheap, allocation-bounded, and exactly mirrors how
+    // the values print, so "looks equal" implies "caches equal".
+    format!("{v:.8e}").parse::<f64>().unwrap_or(v).to_bits()
+}
+
+impl CacheKey {
+    /// Key for a parameter set.
+    pub fn of(p: &ModelParams) -> Self {
+        CacheKey([
+            quantize(p.data_unit.as_b()),
+            quantize(p.intensity.as_flop_per_byte()),
+            quantize(p.local_rate.as_flops()),
+            quantize(p.remote_rate.as_flops()),
+            quantize(p.bandwidth.as_bytes_per_sec()),
+            quantize(p.alpha.value()),
+            quantize(p.theta.value()),
+        ])
+    }
+
+    fn shard(&self) -> usize {
+        let mut h = DefaultHasher::new();
+        self.0.hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, Arc<str>>,
+    // Insertion order for FIFO eviction. An entry is evicted when its
+    // shard exceeds its share of the configured capacity.
+    order: VecDeque<CacheKey>,
+}
+
+/// Point-in-time cache counters, served under `/healthz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Lookups that had to evaluate the model.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Configured capacity (0 = caching disabled).
+    pub capacity: usize,
+}
+
+/// The sharded response cache. Capacity 0 disables storage entirely
+/// (every lookup is a miss) — the uncached baseline the benches compare
+/// against.
+pub struct DecisionCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl DecisionCache {
+    /// Cache bounded to roughly `capacity` entries (rounded up to a
+    /// multiple of [`SHARDS`]); 0 disables caching.
+    pub fn new(capacity: usize) -> Self {
+        DecisionCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity: capacity.div_ceil(SHARDS),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a key, counting the hit or miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<str>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let found = self.shards[key.shard()].lock().map.get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Store a freshly-evaluated response body, evicting the shard's
+    /// oldest entry if it is full. A no-op when caching is disabled.
+    pub fn insert(&self, key: CacheKey, body: Arc<str>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut shard = self.shards[key.shard()].lock();
+        if shard.map.insert(key, body).is_none() {
+            shard.order.push_back(key);
+            if shard.order.len() > self.per_shard_capacity {
+                if let Some(oldest) = shard.order.pop_front() {
+                    shard.map.remove(&oldest);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().map.len()).sum(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_units::{Bytes, ComputeIntensity, FlopRate, Rate, Ratio};
+
+    fn params(alpha: f64) -> ModelParams {
+        ModelParams::builder()
+            .data_unit(Bytes::from_gb(2.0))
+            .intensity(ComputeIntensity::from_tflop_per_gb(17.0))
+            .local_rate(FlopRate::from_tflops(10.0))
+            .remote_rate(FlopRate::from_tflops(340.0))
+            .bandwidth(Rate::from_gbps(25.0))
+            .alpha(Ratio::new(alpha))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let cache = DecisionCache::new(64);
+        let key = CacheKey::of(&params(0.8));
+        assert!(cache.get(&key).is_none());
+        cache.insert(key, Arc::from("body"));
+        assert_eq!(cache.get(&key).as_deref(), Some("body"));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn quantization_merges_float_noise() {
+        let a = CacheKey::of(&params(0.8));
+        let b = CacheKey::of(&params(0.8 + 1e-13));
+        assert_eq!(a, b, "sub-precision noise must share an entry");
+        let c = CacheKey::of(&params(0.81));
+        assert_ne!(a, c, "meaningful changes must not collide");
+    }
+
+    #[test]
+    fn capacity_zero_disables_storage() {
+        let cache = DecisionCache::new(0);
+        let key = CacheKey::of(&params(0.8));
+        cache.insert(key, Arc::from("body"));
+        assert!(cache.get(&key).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.entries), (0, 0));
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn eviction_is_fifo_per_shard() {
+        // Capacity 16 → one entry per shard; a second key landing in an
+        // occupied shard must displace the first.
+        let cache = DecisionCache::new(SHARDS);
+        let keys: Vec<CacheKey> = (0..200)
+            .map(|i| CacheKey::of(&params(0.2 + 0.003 * i as f64)))
+            .collect();
+        for k in &keys {
+            cache.insert(*k, Arc::from("x"));
+        }
+        let s = cache.stats();
+        assert!(s.entries <= SHARDS, "entries {} > capacity", s.entries);
+        assert!(s.evictions > 0);
+    }
+
+    #[test]
+    fn reinsert_does_not_grow_order() {
+        let cache = DecisionCache::new(64);
+        let key = CacheKey::of(&params(0.8));
+        for _ in 0..100 {
+            cache.insert(key, Arc::from("body"));
+        }
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+}

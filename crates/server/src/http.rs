@@ -1,0 +1,293 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing.
+//!
+//! Deliberately minimal — the service speaks a small, fixed dialect
+//! (JSON bodies, `Content-Length` framing, persistent connections) and
+//! the container has no HTTP crate to lean on. The parser enforces hard
+//! limits on header and body sizes so a misbehaving client cannot balloon
+//! a connection thread's memory.
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum accepted request-line/header-line length, bytes.
+pub const MAX_LINE: usize = 8 * 1024;
+/// Maximum number of header lines.
+pub const MAX_HEADERS: usize = 64;
+/// Maximum accepted body size, bytes.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The connection failed mid-request.
+    Io(io::Error),
+    /// The bytes on the wire are not a well-formed request.
+    Malformed(String),
+    /// The request exceeds a parser limit ("413 Payload Too Large").
+    TooLarge(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Request target path (`/decide`), query string stripped.
+    pub path: String,
+    /// Header name/value pairs in wire order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`).
+    pub close: bool,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read one line terminated by `\r\n` (tolerating bare `\n`), bounded by
+/// [`MAX_LINE`]. Returns `None` on clean EOF before any byte.
+fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::with_capacity(128);
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Malformed("EOF mid-line".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let text = String::from_utf8(line)
+                        .map_err(|_| HttpError::Malformed("non-UTF-8 header line".into()))?;
+                    return Ok(Some(text));
+                }
+                if line.len() >= MAX_LINE {
+                    return Err(HttpError::TooLarge(format!(
+                        "line exceeds {MAX_LINE} bytes"
+                    )));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Read one request off the connection.
+///
+/// Returns `Ok(None)` when the peer closed the connection cleanly between
+/// requests (the normal end of a keep-alive session).
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_owned(), t.to_owned(), v.to_owned()),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed(format!("bad version {version:?}")));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line =
+            read_line(reader)?.ok_or_else(|| HttpError::Malformed("EOF inside headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooLarge(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds {MAX_BODY}"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let connection = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 defaults to close.
+    let close = match connection.as_deref() {
+        Some("close") => true,
+        Some("keep-alive") => false,
+        _ => version == "HTTP/1.0",
+    };
+
+    let path = target.split('?').next().unwrap_or("").to_owned();
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+        close,
+    }))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Write one JSON response, framing the body with `Content-Length`.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        reason(status),
+        body.len(),
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(b"POST /decide HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/decide");
+        assert_eq!(req.body, b"abcd");
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn strips_query_string() {
+        let req = parse(b"GET /scenarios?limit=3 HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/scenarios");
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn connection_close_honored() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.close);
+        let old = parse(b"GET /healthz HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(old.close, "HTTP/1.0 defaults to close");
+    }
+
+    #[test]
+    fn bad_request_line_rejected() {
+        assert!(matches!(
+            parse(b"NONSENSE\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let text = format!(
+            "POST /decide HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(
+            parse(text.as_bytes()),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        assert!(matches!(
+            parse(b"POST /decide HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn response_has_content_length() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, b"{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 11\r\n"), "{text}");
+        assert!(text.contains("connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Always-on HTTP/JSON decision service over the stream-score model.
+//!
+//! The paper frames stream-vs-store as a question a facility asks *per
+//! request*, continuously — not once. This crate turns the analytic model
+//! into a long-running advisor: a pure-`std` HTTP/1.1 server (hand-rolled
+//! parsing over `TcpListener`, no external dependencies) whose request
+//! path is built for repeated traffic:
+//!
+//! ```text
+//! connection threads ──▶ Batcher queue ──▶ dispatcher ──▶ ThreadPool wave
+//!                                              │
+//!                                   DecisionCache (sharded, memoized)
+//! ```
+//!
+//! * [`server::Server`] — accept loop and router for `POST /decide`,
+//!   `POST /tiers`, `GET /scenarios` and `GET /healthz`.
+//! * [`batch::Batcher`] — micro-batches concurrent `/decide` bodies and
+//!   evaluates each wave of cache misses in one [`sss_exec::ThreadPool`]
+//!   fan-out.
+//! * [`cache::DecisionCache`] — sharded memoization keyed on quantized
+//!   [`ModelParams`](sss_core::ModelParams); repeat queries are answered
+//!   from memory with the exact bytes the first evaluation produced.
+//! * [`api`] — the JSON request/response types, in the paper's own units.
+//!
+//! # Example
+//!
+//! Start a server on an OS-assigned port and ask it about the paper's
+//! Table 3 coherent-scattering workload:
+//!
+//! ```
+//! use std::io::{Read, Write};
+//! use sss_server::{Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig {
+//!     port: 0,
+//!     workers: 2,
+//!     cache_capacity: 64,
+//!     max_batch: 8,
+//! })
+//! .unwrap();
+//! let addr = server.local_addr();
+//! let handle = server.spawn();
+//!
+//! let body = r#"{"data_gb":2.0,"intensity_tflop_per_gb":17.0,"local_tflops":10.0,
+//!                "remote_tflops":340.0,"bandwidth_gbps":25.0,"alpha":0.8}"#;
+//! let mut stream = std::net::TcpStream::connect(addr).unwrap();
+//! write!(
+//!     stream,
+//!     "POST /decide HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+//!     body.len(),
+//!     body
+//! )
+//! .unwrap();
+//! let mut response = String::new();
+//! stream.read_to_string(&mut response).unwrap();
+//! assert!(response.starts_with("HTTP/1.1 200 OK"));
+//! assert!(response.contains("RemoteStream"));
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod batch;
+pub mod cache;
+pub mod http;
+pub mod server;
+
+pub use api::{
+    DecideRequest, DecideResponse, ErrorResponse, ScenarioEntry, ScenariosResponse, TiersRequest,
+    TiersResponse,
+};
+pub use batch::{BatchStats, Batcher};
+pub use cache::{CacheKey, CacheStats, DecisionCache};
+pub use server::{Health, Server, ServerConfig, ServerHandle};

@@ -1,0 +1,301 @@
+//! The TCP accept loop, request router, and lifecycle handle.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use sss_units::Ratio;
+
+use crate::api::{ErrorResponse, ScenariosResponse, TiersRequest};
+use crate::batch::{BatchStats, Batcher};
+use crate::cache::{CacheStats, DecisionCache};
+use crate::http::{read_request, write_response, HttpError, Request};
+
+/// How the service is sized. `Default` is a sensible interactive setup:
+/// an OS-assigned port, one worker per core, a 4096-entry cache and
+/// 32-request batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// TCP port to bind on `127.0.0.1` (0 = let the OS pick).
+    pub port: u16,
+    /// Worker threads evaluating `/decide` batches.
+    pub workers: usize,
+    /// Decision-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Maximum `/decide` requests evaluated per pool wave.
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            port: 0,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            cache_capacity: 4096,
+            max_batch: 32,
+        }
+    }
+}
+
+/// Everything a connection thread needs, shared behind one `Arc`.
+struct AppState {
+    cache: Arc<DecisionCache>,
+    batcher: Batcher,
+    scenarios_body: Arc<str>,
+    started: Instant,
+    requests: AtomicU64,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// The `/healthz` body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Health {
+    /// Always `"ok"` while the service answers.
+    pub status: String,
+    /// Seconds since the listener was bound.
+    pub uptime_s: f64,
+    /// Requests handled across all endpoints.
+    pub requests: u64,
+    /// Worker threads configured for `/decide` batches.
+    pub workers: usize,
+    /// Maximum batch size configured.
+    pub max_batch: usize,
+    /// Decision-cache counters.
+    pub cache: CacheStats,
+    /// Batching counters.
+    pub batch: BatchStats,
+}
+
+/// A bound-but-not-yet-serving instance: inspect [`Server::local_addr`],
+/// then either [`Server::run`] on this thread or [`Server::spawn`] a
+/// background one.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+}
+
+impl Server {
+    /// Bind `127.0.0.1:{port}` and prepare the pipeline (cache, batcher,
+    /// precomputed scenario catalog).
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        let cache = Arc::new(DecisionCache::new(config.cache_capacity));
+        let batcher = Batcher::new(cache.clone(), config.workers, config.max_batch);
+        let scenarios_body: Arc<str> = Arc::from(
+            serde_json::to_string(&ScenariosResponse::bundled())
+                .expect("scenario catalog serializes"),
+        );
+        Ok(Server {
+            listener,
+            state: Arc::new(AppState {
+                cache,
+                batcher,
+                scenarios_body,
+                started: Instant::now(),
+                requests: AtomicU64::new(0),
+                config,
+                shutdown: Arc::new(AtomicBool::new(false)),
+            }),
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("listener bound")
+    }
+
+    /// Serve until [`ServerHandle::shutdown`] is called (from a handle
+    /// created before `run`, via [`Server::handle`]) — or forever.
+    pub fn run(self) -> std::io::Result<()> {
+        let state = self.state;
+        for stream in self.listener.incoming() {
+            if state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let state = state.clone();
+            std::thread::spawn(move || handle_connection(stream, &state));
+        }
+        Ok(())
+    }
+
+    /// A handle that can stop [`Server::run`] from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.local_addr(),
+            shutdown: self.state.shutdown.clone(),
+            join: None,
+        }
+    }
+
+    /// Serve on a background thread, returning the controlling handle.
+    pub fn spawn(self) -> ServerHandle {
+        let mut handle = self.handle();
+        handle.join = Some(std::thread::spawn(move || {
+            let _ = self.run();
+        }));
+        handle
+    }
+}
+
+/// Controls a serving instance: address introspection and shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The served address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and (for spawned servers) join the
+    /// accept thread. In-flight connections finish independently.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop only observes the flag on its next connection:
+        // poke it awake.
+        if let Ok(stream) = TcpStream::connect(self.addr) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Per-connection loop: parse requests, route, write responses, until the
+/// peer closes, errs, asks to close, or idles past the read timeout.
+fn handle_connection(stream: TcpStream, state: &AppState) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(Some(request)) => {
+                state.requests.fetch_add(1, Ordering::Relaxed);
+                let close = request.close;
+                let (status, body) = route(&request, state);
+                if write_response(&mut writer, status, body.as_bytes(), !close).is_err() || close {
+                    break;
+                }
+            }
+            Ok(None) => break,              // clean close between requests
+            Err(HttpError::Io(_)) => break, // timeout or dropped mid-request
+            Err(e @ HttpError::Malformed(_)) => {
+                let _ = respond_error(&mut writer, 400, &e.to_string());
+                break;
+            }
+            Err(e @ HttpError::TooLarge(_)) => {
+                let _ = respond_error(&mut writer, 413, &e.to_string());
+                break;
+            }
+        }
+    }
+    let _ = writer.flush();
+}
+
+fn respond_error<W: Write>(writer: &mut W, status: u16, message: &str) -> std::io::Result<()> {
+    let body = serde_json::to_string(&ErrorResponse {
+        error: message.to_owned(),
+    })
+    .expect("error body serializes");
+    write_response(writer, status, body.as_bytes(), false)
+}
+
+fn error_body(message: String) -> Arc<str> {
+    Arc::from(
+        serde_json::to_string(&ErrorResponse { error: message }).expect("error body serializes"),
+    )
+}
+
+/// Dispatch one request to its endpoint, producing status and JSON body.
+/// Bodies are `Arc<str>` so the hot paths (cached `/decide` hits, the
+/// precomputed `/scenarios` catalog) are served without copying them.
+fn route(request: &Request, state: &AppState) -> (u16, Arc<str>) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/decide") => handle_decide(&request.body, state),
+        ("POST", "/tiers") => handle_tiers(&request.body),
+        ("GET", "/scenarios") => (200, state.scenarios_body.clone()),
+        ("GET", "/healthz") => handle_healthz(state),
+        (_, "/decide" | "/tiers" | "/scenarios" | "/healthz") => (
+            405,
+            error_body(format!(
+                "method {} not allowed on {}",
+                request.method, request.path
+            )),
+        ),
+        (_, path) => (404, error_body(format!("no such endpoint {path:?}"))),
+    }
+}
+
+fn handle_decide(body: &[u8], state: &AppState) -> (u16, Arc<str>) {
+    let params = match parse_workload(body) {
+        Ok(p) => p,
+        Err(msg) => return (400, error_body(msg)),
+    };
+    (200, state.batcher.submit(params))
+}
+
+fn handle_tiers(body: &[u8]) -> (u16, Arc<str>) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, error_body("body is not UTF-8".into())),
+    };
+    let request: TiersRequest = match serde_json::from_str(text) {
+        Ok(r) => r,
+        Err(e) => return (400, error_body(format!("bad tiers request: {e}"))),
+    };
+    if !request.sss.is_finite() || request.sss < 1.0 {
+        return (
+            400,
+            error_body(format!("sss must be >= 1, got {}", request.sss)),
+        );
+    }
+    let params = match request.workload.params() {
+        Ok(p) => p,
+        Err(e) => return (400, error_body(e.to_string())),
+    };
+    let response = crate::api::TiersResponse::evaluate(&params, Ratio::new(request.sss));
+    (
+        200,
+        Arc::from(serde_json::to_string(&response).expect("tiers body serializes")),
+    )
+}
+
+fn handle_healthz(state: &AppState) -> (u16, Arc<str>) {
+    let health = Health {
+        status: "ok".to_owned(),
+        uptime_s: state.started.elapsed().as_secs_f64(),
+        requests: state.requests.load(Ordering::Relaxed),
+        workers: state.config.workers,
+        max_batch: state.config.max_batch,
+        cache: state.cache.stats(),
+        batch: state.batcher.stats(),
+    };
+    (
+        200,
+        Arc::from(serde_json::to_string(&health).expect("health body serializes")),
+    )
+}
+
+/// Parse and validate a `/decide` body into model parameters.
+fn parse_workload(body: &[u8]) -> Result<sss_core::ModelParams, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let request: crate::api::DecideRequest =
+        serde_json::from_str(text).map_err(|e| format!("bad decide request: {e}"))?;
+    request.params().map_err(|e| e.to_string())
+}

@@ -33,6 +33,8 @@
 //! assert_eq!(tf, FlopRate::from_tflops(34.0));
 //! ```
 
+#![warn(missing_docs)]
+
 mod bytes;
 mod flops;
 mod parse;

@@ -58,6 +58,17 @@ impl FromStr for Bytes {
     /// Parse data sizes: `B`, `kB/KB`, `MB`, `GB`, `TB`, `PB` (decimal) and
     /// `KiB`, `MiB`, `GiB` (binary). Unit matching ignores case except for
     /// the binary `i` infix.
+    ///
+    /// ```
+    /// use sss_units::Bytes;
+    ///
+    /// // The paper's Table 3 data unit: one second of detector output.
+    /// let unit: Bytes = "2GB".parse().unwrap();
+    /// assert_eq!(unit, Bytes::from_gb(2.0));
+    /// // Whitespace is optional and decimal/binary prefixes both work.
+    /// assert_eq!("12.6 GB".parse::<Bytes>().unwrap(), Bytes::from_gb(12.6));
+    /// assert_eq!("2 GiB".parse::<Bytes>().unwrap(), Bytes::from_gib(2.0));
+    /// ```
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = || UnitParseError::new(s, "data size (e.g. \"0.5 GB\")");
         let (v, unit) = split_number_unit(s).ok_or_else(err)?;
@@ -107,6 +118,18 @@ impl FromStr for Rate {
     /// `Gb/s`); byte-oriented units use uppercase `B` (`GB/s`, `GBps`, also
     /// `MB/s` etc.). This is the convention the paper relies on when it
     /// contrasts "4 GB/s (32 Gbps)".
+    ///
+    /// ```
+    /// use sss_units::Rate;
+    ///
+    /// // The paper's testbed link.
+    /// let link: Rate = "25Gbps".parse().unwrap();
+    /// assert_eq!(link, Rate::from_gbps(25.0));
+    /// // §5's unit trap: 4 GB/s is 32 Gbps — more than the link carries.
+    /// let demand: Rate = "4 GB/s".parse().unwrap();
+    /// assert!((demand.as_gbps() - 32.0).abs() < 1e-9);
+    /// assert!(demand > link);
+    /// ```
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = || UnitParseError::new(s, "data rate (e.g. \"25 Gbps\" or \"2 GB/s\")");
         let (v, unit) = split_number_unit(s).ok_or_else(err)?;
@@ -169,6 +192,18 @@ impl FromStr for ComputeIntensity {
     type Err = UnitParseError;
 
     /// Parse computational intensity: `FLOP/GB`, `TF/GB`, `FLOP/B`.
+    ///
+    /// ```
+    /// use sss_units::{Bytes, ComputeIntensity, FlopRate};
+    ///
+    /// // Table 3 quotes 34 TF per 2 GB of coherent-scattering data.
+    /// let c: ComputeIntensity = "17TF/GB".parse().unwrap();
+    /// assert_eq!(c, ComputeIntensity::from_tflop_per_gb(17.0));
+    /// // Intensity × data = work, work / rate = time: 34 TF at 340 TFLOPS.
+    /// let work = c * Bytes::from_gb(2.0);
+    /// let t = work / FlopRate::from_tflops(340.0);
+    /// assert!((t.as_secs() - 0.1).abs() < 1e-12);
+    /// ```
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = || UnitParseError::new(s, "compute intensity (e.g. \"17 TF/GB\")");
         let (v, unit) = split_number_unit(s).ok_or_else(err)?;

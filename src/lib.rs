@@ -18,6 +18,7 @@
 //! | [`sss_exec`] | deterministic parallel sweep executor |
 //! | [`sss_units`] | typed quantities (GB vs Gb/s vs TFLOPS confusion is a compile error) |
 //! | [`sss_report`] | tables, ASCII plots, CSV/JSON |
+//! | [`sss_server`] | long-running HTTP/JSON decision service: request batching + memoized decision cache |
 //!
 //! ## Quickstart
 //!
@@ -52,6 +53,7 @@ pub use sss_iosim as iosim;
 pub use sss_loadgen as loadgen;
 pub use sss_netsim as netsim;
 pub use sss_report as report;
+pub use sss_server as server;
 pub use sss_stats as stats;
 pub use sss_units as units;
 
@@ -67,10 +69,11 @@ pub mod prelude {
         presets, FileBasedPipeline, FrameSource, MovementResult, StreamingPipeline,
     };
     pub use sss_loadgen::{
-        summary_table, sweep, Experiment, ExperimentResult, ScenarioEvaluation, ScenarioSuite,
-        SpawnStrategy, SuiteConfig, SweepSpec,
+        run_http_load, summary_table, sweep, Experiment, ExperimentResult, HttpLoadSpec,
+        ScenarioEvaluation, ScenarioSuite, SpawnStrategy, SuiteConfig, SweepSpec,
     };
     pub use sss_netsim::{FlowSpec, SimConfig, SimTime, Simulator};
+    pub use sss_server::{Server, ServerConfig};
     pub use sss_stats::{Ecdf, Summary, TailMetrics};
     pub use sss_units::{Bytes, ComputeIntensity, FlopRate, Flops, Rate, Ratio, TimeDelta};
 }

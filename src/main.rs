@@ -1,4 +1,4 @@
-//! The `stream-score` command-line advisor.
+//! The `stream-score` command-line advisor and service launcher.
 //!
 //! ```text
 //! stream-score decide --data 2GB --intensity 17TF/GB --local 10TF \
@@ -7,6 +7,8 @@
 //! stream-score probe [--seconds 3]  # mini congestion sweep on the testbed model
 //! stream-score tiers --data 2GB --intensity 17TF/GB --local 10TF \
 //!                    --remote 340TF --bw 25Gbps --alpha 0.8 --sss 7.5
+//! stream-score serve --port 8080    # long-running HTTP/JSON decision service
+//! stream-score loadtest --clients 8 # closed-loop load against the service
 //! ```
 //!
 //! Arguments use the same notations as the paper (`2GB`, `25Gbps`,
@@ -17,7 +19,9 @@ use std::process::ExitCode;
 
 use stream_score::core::planner::plan_for_tier;
 use stream_score::core::sensitivity::Sensitivity;
+use stream_score::loadgen::{loadtest_table, run_http_load, HttpLoadSpec};
 use stream_score::prelude::*;
+use stream_score::server::{Server, ServerConfig};
 
 fn usage() -> &'static str {
     "stream-score — to stream or not to stream?\n\
@@ -32,6 +36,11 @@ fn usage() -> &'static str {
                               [--workers <N>] [--levels 1,4,8] [--seconds <N>]\n\
                               [--seed <N>] [--format text|md]\n\
        stream-score probe     [--seconds <N>] [--concurrency <N>]\n\
+       stream-score serve     [--port <N>] [--workers <N>]\n\
+                              [--cache-capacity <N>] [--batch-max <N>]\n\
+       stream-score loadtest  [--addr <HOST:PORT>] [--clients <N>]\n\
+                              [--requests <N>] [--distinct <N>] [--seed <N>]\n\
+                              [--workers <N>] [--cache-capacity <N>] [--format text|md]\n\
        stream-score help\n\
      \n\
      EXAMPLES:\n\
@@ -41,17 +50,27 @@ fn usage() -> &'static str {
                            --remote 340TF --bw 25Gbps --alpha 0.8 --sss 7.5\n"
 }
 
-/// Parse `--key value` pairs; returns None on malformed input.
-fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
+/// Parse `--key value` pairs, naming the offending flag on malformed or
+/// duplicated input.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
-        let key = args[i].strip_prefix("--")?;
-        let value = args.get(i + 1)?;
-        flags.insert(key.to_string(), value.clone());
+        let Some(key) = args[i].strip_prefix("--") else {
+            return Err(format!("expected a flag (--key value), got {:?}", args[i]));
+        };
+        if key.is_empty() {
+            return Err("expected a flag name after \"--\"".into());
+        }
+        let Some(value) = args.get(i + 1) else {
+            return Err(format!("flag --{key} is missing its value"));
+        };
+        if flags.insert(key.to_string(), value.clone()).is_some() {
+            return Err(format!("flag --{key} given more than once"));
+        }
         i += 2;
     }
-    Some(flags)
+    Ok(flags)
 }
 
 fn params_from_flags(flags: &HashMap<String, String>) -> Result<ModelParams, String> {
@@ -340,16 +359,128 @@ fn cmd_probe(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse an optional numeric flag with a default.
+fn flag_or<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        Some(raw) => raw.parse().map_err(|_| format!("bad --{key} {raw:?}")),
+        None => Ok(default),
+    }
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let config = ServerConfig {
+        port: flag_or(flags, "port", 8080u16)?,
+        workers: flag_or(
+            flags,
+            "workers",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )?,
+        cache_capacity: flag_or(flags, "cache-capacity", 4096usize)?,
+        max_batch: flag_or(flags, "batch-max", 32usize)?,
+    };
+    if config.workers == 0 || config.max_batch == 0 {
+        return Err("--workers and --batch-max must be positive".into());
+    }
+    let server =
+        Server::bind(config).map_err(|e| format!("cannot bind port {}: {e}", config.port))?;
+    println!(
+        "serving on http://{} ({} workers, cache capacity {}, batches up to {})",
+        server.local_addr(),
+        config.workers,
+        config.cache_capacity,
+        config.max_batch
+    );
+    println!("endpoints: POST /decide, POST /tiers, GET /scenarios, GET /healthz");
+    server.run().map_err(|e| format!("server failed: {e}"))
+}
+
+fn cmd_loadtest(flags: &HashMap<String, String>) -> Result<(), String> {
+    let spec_for = |addr: String| -> Result<HttpLoadSpec, String> {
+        Ok(HttpLoadSpec {
+            addr,
+            clients: flag_or(flags, "clients", 4usize)?,
+            requests_per_client: flag_or(flags, "requests", 100usize)?,
+            distinct_workloads: flag_or(flags, "distinct", 8usize)?,
+            seed: flag_or(flags, "seed", 42u64)?,
+        })
+    };
+    let markdown = match flags.get("format").map(String::as_str) {
+        Some("md") => true,
+        Some("text") | None => false,
+        Some(other) => return Err(format!("unknown format {other:?} (use text or md)")),
+    };
+
+    // With --addr, drive an already-running server; without, spin one up
+    // in-process on an OS-assigned port for a self-contained benchmark.
+    let (report, served) = match flags.get("addr") {
+        Some(addr) => {
+            for local in ["workers", "cache-capacity"] {
+                if flags.contains_key(local) {
+                    return Err(format!(
+                        "--{local} configures the in-process server and conflicts with --addr"
+                    ));
+                }
+            }
+            (run_http_load(&spec_for(addr.clone())?)?, None)
+        }
+        None => {
+            let config = ServerConfig {
+                port: 0,
+                cache_capacity: flag_or(flags, "cache-capacity", 4096usize)?,
+                workers: flag_or(
+                    flags,
+                    "workers",
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1),
+                )?,
+                ..ServerConfig::default()
+            };
+            let server = Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;
+            let addr = server.local_addr().to_string();
+            let handle = server.spawn();
+            println!("no --addr given: serving in-process on {addr} for this run");
+            (run_http_load(&spec_for(addr)?)?, Some(handle))
+        }
+    };
+    if let Some(handle) = served {
+        handle.shutdown();
+    }
+
+    let table = loadtest_table(&report);
+    if markdown {
+        print!("{}", table.to_markdown());
+    } else {
+        print!("{}", table.to_text());
+    }
+    println!(
+        "mean latency {:.3} ms over {} requests ({} errors)",
+        report.summary.mean() * 1e3,
+        report.ok + report.errors,
+        report.errors
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprint!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let Some(flags) = parse_flags(&args[1..]) else {
-        eprintln!("malformed flags (expected --key value pairs)\n");
-        eprint!("{}", usage());
-        return ExitCode::FAILURE;
+    let flags = match parse_flags(&args[1..]) {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("malformed flags: {e}\n");
+            eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
     };
     let result = match command.as_str() {
         "decide" => cmd_decide(&flags),
@@ -357,6 +488,8 @@ fn main() -> ExitCode {
         "plan" => cmd_plan(&flags),
         "scenarios" => cmd_scenarios(&flags),
         "probe" => cmd_probe(&flags),
+        "serve" => cmd_serve(&flags),
+        "loadtest" => cmd_loadtest(&flags),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             Ok(())

@@ -157,6 +157,55 @@ fn bad_units_fail_gracefully() {
 }
 
 #[test]
+fn positional_junk_names_the_offender() {
+    let (ok, _, stderr) = run(&["decide", "oops", "--data", "2GB"]);
+    assert!(!ok);
+    assert!(stderr.contains("expected a flag"), "{stderr}");
+    assert!(stderr.contains("\"oops\""), "{stderr}");
+}
+
+#[test]
+fn flag_missing_value_names_the_flag() {
+    let (ok, _, stderr) = run(&["decide", "--data"]);
+    assert!(!ok);
+    assert!(stderr.contains("--data is missing its value"), "{stderr}");
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
+fn duplicate_flag_names_the_flag() {
+    let mut args: Vec<&str> = DECIDE_ARGS.to_vec();
+    args.extend_from_slice(&["--data", "3GB"]);
+    let (ok, _, stderr) = run(&args);
+    assert!(!ok);
+    assert!(stderr.contains("--data given more than once"), "{stderr}");
+}
+
+#[test]
+fn loadtest_self_serves_when_no_addr_given() {
+    let (ok, stdout, stderr) = run(&[
+        "loadtest",
+        "--clients",
+        "2",
+        "--requests",
+        "10",
+        "--distinct",
+        "4",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("serving in-process"), "{stdout}");
+    assert!(stdout.contains("req/s"), "{stdout}");
+    assert!(stdout.contains("mean latency"), "{stdout}");
+}
+
+#[test]
+fn loadtest_rejects_server_flags_with_addr() {
+    let (ok, _, stderr) = run(&["loadtest", "--addr", "127.0.0.1:1", "--workers", "4"]);
+    assert!(!ok);
+    assert!(stderr.contains("conflicts with --addr"), "{stderr}");
+}
+
+#[test]
 fn unknown_command_fails() {
     let (ok, _, stderr) = run(&["frobnicate"]);
     assert!(!ok);

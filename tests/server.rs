@@ -1,0 +1,264 @@
+//! Integration tests for the `sss-server` decision service: endpoint
+//! round-trips over a real socket, cache accounting, and response
+//! byte-identity across worker counts.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use stream_score::server::{Health, Server, ServerConfig, ServerHandle};
+
+fn start(workers: usize, cache_capacity: usize) -> ServerHandle {
+    let server = Server::bind(ServerConfig {
+        port: 0,
+        workers,
+        cache_capacity,
+        max_batch: 16,
+    })
+    .expect("bind server");
+    server.spawn()
+}
+
+/// One request over a fresh connection; returns (status, body).
+fn call(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let body = response
+        .split("\r\n\r\n")
+        .nth(1)
+        .unwrap_or_default()
+        .to_owned();
+    (status, body)
+}
+
+const TABLE3: &str = r#"{"data_gb":2.0,"intensity_tflop_per_gb":17.0,"local_tflops":10.0,
+    "remote_tflops":340.0,"bandwidth_gbps":25.0,"alpha":0.8}"#;
+
+fn health(addr: std::net::SocketAddr) -> Health {
+    let (status, body) = call(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    serde_json::from_str(&body).expect("health parses")
+}
+
+#[test]
+fn endpoints_round_trip_over_a_real_socket() {
+    let handle = start(2, 64);
+    let addr = handle.addr();
+
+    let (status, body) = call(addr, "POST", "/decide", TABLE3);
+    assert_eq!(status, 200);
+    assert!(body.contains("RemoteStream"), "{body}");
+    assert!(body.contains("break_even"), "{body}");
+
+    let tiers_body = format!(r#"{{"workload":{TABLE3},"sss":7.5}}"#);
+    let (status, body) = call(addr, "POST", "/tiers", &tiers_body);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"RealTime\""), "{body}");
+    assert!(body.matches("\"feasible\"").count() == 3, "{body}");
+
+    let (status, body) = call(addr, "GET", "/scenarios", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"count\":13"), "{body}");
+    assert!(body.contains("lcls-coherent-scattering"), "{body}");
+
+    let h = health(addr);
+    assert_eq!(h.status, "ok");
+    assert!(h.requests >= 4);
+
+    handle.shutdown();
+}
+
+#[test]
+fn bad_requests_get_400s_and_unknown_paths_404() {
+    let handle = start(1, 16);
+    let addr = handle.addr();
+
+    let (status, body) = call(addr, "POST", "/decide", "not json");
+    assert_eq!(status, 400);
+    assert!(body.contains("bad decide request"), "{body}");
+
+    // Valid JSON, invalid physics: alpha out of (0, 1].
+    let (status, body) = call(
+        addr,
+        "POST",
+        "/decide",
+        &TABLE3.replace("\"alpha\":0.8", "\"alpha\":1.4"),
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("alpha"), "{body}");
+
+    let (status, body) = call(addr, "POST", "/tiers", r#"{"workload":{},"sss":0.5}"#);
+    assert_eq!(status, 400);
+    assert!(!body.is_empty());
+
+    let (status, _) = call(addr, "GET", "/no-such-endpoint", "");
+    assert_eq!(status, 404);
+
+    let (status, body) = call(addr, "GET", "/decide", "");
+    assert_eq!(status, 405);
+    assert!(body.contains("not allowed"), "{body}");
+
+    // Any unsupported method on a known endpoint is 405, never 404.
+    let (status, body) = call(addr, "DELETE", "/healthz", "");
+    assert_eq!(status, 405);
+    assert!(body.contains("not allowed"), "{body}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_per_connection() {
+    let handle = start(2, 64);
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    for _ in 0..5 {
+        write!(
+            stream,
+            "POST /decide HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+            TABLE3.len(),
+            TABLE3
+        )
+        .expect("send");
+        // Read status line + headers, then the framed body.
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("status line");
+        assert!(line.starts_with("HTTP/1.1 200"), "{line}");
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            reader.read_line(&mut header).expect("header");
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some(v) = header.strip_prefix("content-length:") {
+                content_length = v.trim().parse().expect("length");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("body");
+        assert!(String::from_utf8(body).unwrap().contains("RemoteStream"));
+    }
+    drop(stream);
+    handle.shutdown();
+}
+
+#[test]
+fn cache_accounts_hits_and_misses() {
+    let handle = start(2, 256);
+    let addr = handle.addr();
+
+    for _ in 0..5 {
+        let (status, _) = call(addr, "POST", "/decide", TABLE3);
+        assert_eq!(status, 200);
+    }
+    let h = health(addr);
+    assert_eq!(h.cache.misses, 1, "one distinct workload evaluates once");
+    assert_eq!(h.cache.hits, 4);
+    assert_eq!(h.cache.entries, 1);
+
+    // A sub-precision perturbation quantizes onto the same entry...
+    let noisy = TABLE3.replace("\"alpha\":0.8", "\"alpha\":0.8000000000001");
+    let (status, _) = call(addr, "POST", "/decide", &noisy);
+    assert_eq!(status, 200);
+    let h = health(addr);
+    assert_eq!((h.cache.misses, h.cache.hits), (1, 5));
+
+    // ...while a meaningful change is a new entry.
+    let changed = TABLE3.replace("\"alpha\":0.8", "\"alpha\":0.7");
+    let (status, _) = call(addr, "POST", "/decide", &changed);
+    assert_eq!(status, 200);
+    let h = health(addr);
+    assert_eq!((h.cache.misses, h.cache.entries), (2, 2));
+
+    handle.shutdown();
+}
+
+#[test]
+fn disabled_cache_never_hits() {
+    let handle = start(2, 0);
+    let addr = handle.addr();
+    for _ in 0..3 {
+        let (status, _) = call(addr, "POST", "/decide", TABLE3);
+        assert_eq!(status, 200);
+    }
+    let h = health(addr);
+    assert_eq!(h.cache.hits, 0);
+    assert_eq!(h.cache.misses, 3);
+    assert_eq!(h.cache.entries, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn http_load_driver_round_trips() {
+    let handle = start(4, 1024);
+    let spec = stream_score::loadgen::HttpLoadSpec {
+        addr: handle.addr().to_string(),
+        clients: 3,
+        requests_per_client: 20,
+        distinct_workloads: 5,
+        seed: 7,
+    };
+    let report = stream_score::loadgen::run_http_load(&spec).expect("load run");
+    assert_eq!(report.ok, 60);
+    assert_eq!(report.errors, 0);
+    assert!(report.throughput_rps > 0.0);
+    assert!(report.latency.max >= report.latency.p50);
+
+    let h = health(handle.addr());
+    assert_eq!(h.cache.misses, 5, "one miss per distinct workload");
+    assert_eq!(h.cache.hits, 55);
+    handle.shutdown();
+}
+
+/// The same request sequence against `--workers 1` and `--workers 8`
+/// servers must produce byte-identical bodies, cached or not.
+#[test]
+fn responses_identical_across_worker_counts() {
+    let bodies: Vec<String> = {
+        let spec = stream_score::loadgen::HttpLoadSpec::smoke("unused");
+        spec.workloads()
+            .iter()
+            .map(|p| {
+                let req = stream_score::server::DecideRequest::from_params(p);
+                serde_json::to_string(&req).expect("body serializes")
+            })
+            .collect()
+    };
+
+    let run = |workers: usize, cache_capacity: usize| -> Vec<String> {
+        let handle = start(workers, cache_capacity);
+        let addr = handle.addr();
+        // Each body twice: cold then cached.
+        let out = bodies
+            .iter()
+            .chain(bodies.iter())
+            .map(|b| {
+                let (status, body) = call(addr, "POST", "/decide", b);
+                assert_eq!(status, 200);
+                body
+            })
+            .collect();
+        handle.shutdown();
+        out
+    };
+
+    let one = run(1, 256);
+    let eight = run(8, 256);
+    let uncached = run(8, 0);
+    assert_eq!(one, eight, "worker count must not change a byte");
+    assert_eq!(one, uncached, "cache hits must return the miss's bytes");
+    let n = bodies.len();
+    assert_eq!(one[..n], one[n..], "repeat queries identical to first");
+}
