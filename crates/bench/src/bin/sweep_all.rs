@@ -1,8 +1,8 @@
 //! Run every regenerator in sequence, leaving all artifacts in
 //! `results/`. Equivalent to invoking fig2a, fig2b, fig3, fig4, tables,
-//! case_study, regimes, ablation_continuum, headline and scenario_suite
-//! one by one, but reuses the expensive Figure 2 sweeps across the
-//! binaries that need them by caching the curve JSON.
+//! case_study, regimes, ablation_continuum, headline, scenario_suite and
+//! frontier_map one by one, but reuses the expensive Figure 2 sweeps
+//! across the binaries that need them by caching the curve JSON.
 
 use std::process::Command;
 
@@ -19,6 +19,7 @@ fn main() {
         "ablation_tcp",
         "headline",
         "scenario_suite",
+        "frontier_map",
     ];
     let exe = std::env::current_exe().expect("own path");
     let bin_dir = exe.parent().expect("bin dir");

@@ -11,6 +11,8 @@
 //!   transfer time, measured under controlled congestion.
 //! * [`decision`] — the stream / stay-local verdict, feasibility checks,
 //!   analytic break-even boundaries and (α, r) regime maps.
+//! * [`frontier`] — break-even frontier maps over arbitrary parameter
+//!   axes: coarse-grid classification plus adaptive bisection refinement.
 //! * [`tiers`] — the case study's latency tiers (real-time < 1 s, near
 //!   real-time < 10 s, quasi real-time < 1 min).
 //! * [`delay`] — the Kurose–Ross delay decomposition (Eq. 1) and the
@@ -54,6 +56,7 @@
 pub mod congestion;
 pub mod decision;
 pub mod delay;
+pub mod frontier;
 pub mod model;
 pub mod montecarlo;
 pub mod params;
@@ -66,6 +69,10 @@ pub mod tiers;
 pub use congestion::{CongestionCurve, Curve1D, MG1Reference, MM1Reference};
 pub use decision::{decide, BreakEven, Decision, DecisionReport, RegimeMap};
 pub use delay::{ContinuumApproximation, DelayDecomposition};
+pub use frontier::{
+    AlphaJitter, Axis, AxisParam, BoundaryPoint, Edge, FrontierCell, FrontierMap, FrontierSlice,
+    FrontierSpec,
+};
 pub use model::CompletionModel;
 pub use montecarlo::{MonteCarloOutcome, TransferEfficiencyDistribution};
 pub use params::{ModelParams, ModelParamsBuilder, ParamError};

@@ -348,6 +348,61 @@ impl Scenario {
             .map(|s| s.build().expect("bundled scenario spec valid"))
     }
 
+    /// Resolve a user-supplied scenario query: an exact registry id, a
+    /// common shorthand (`lcls2`, `aps`, `frib`, ...), or any string that
+    /// matches exactly one registry id as a substring.
+    pub fn resolve(query: &str) -> Result<Scenario, String> {
+        if let Some(s) = Scenario::by_id(query) {
+            return Ok(s);
+        }
+        const ALIASES: &[(&str, &str)] = &[
+            ("lcls", "lcls-coherent-scattering"),
+            ("lcls2", "lcls-coherent-scattering"),
+            ("lcls-ii", "lcls-coherent-scattering"),
+            ("aps", "aps-tomography"),
+            ("apsu", "aps-u-ptychography"),
+            ("aps-u", "aps-u-ptychography"),
+            ("deleria", "deleria-frib"),
+            ("frib", "deleria-frib"),
+            ("lhc", "lhc-raw-trigger"),
+            ("hlt", "lhc-hlt-stream"),
+            ("diii-d", "diii-d-between-shot"),
+            ("d3d", "diii-d-between-shot"),
+            ("cryoem", "cryoem-s3df"),
+            ("ska", "ska-low-pathfinder"),
+            ("climate", "climate-checkpoint-stream"),
+            ("e3sm", "climate-checkpoint-stream"),
+            ("dune", "dune-protodune-stream"),
+            ("protodune", "dune-protodune-stream"),
+        ];
+        let lowered = query.to_lowercase();
+        if let Some((_, id)) = ALIASES.iter().find(|(alias, _)| *alias == lowered) {
+            return Ok(Scenario::by_id(id).expect("alias target registered"));
+        }
+        let registry = Scenario::registry();
+        let matches: Vec<&ScenarioSpec> = registry
+            .iter()
+            .filter(|s| s.id.contains(lowered.as_str()))
+            .collect();
+        match matches.as_slice() {
+            [one] => Ok(one.build().expect("bundled scenario spec valid")),
+            [] => {
+                let ids: Vec<&str> = registry.iter().map(|s| s.id.as_str()).collect();
+                Err(format!(
+                    "unknown scenario {query:?}; known ids: {}",
+                    ids.join(", ")
+                ))
+            }
+            many => {
+                let ids: Vec<&str> = many.iter().map(|s| s.id.as_str()).collect();
+                Err(format!(
+                    "scenario {query:?} is ambiguous between: {}",
+                    ids.join(", ")
+                ))
+            }
+        }
+    }
+
     /// The declarative spec this scenario round-trips through.
     pub fn spec(&self) -> ScenarioSpec {
         ScenarioSpec {
@@ -444,6 +499,27 @@ mod tests {
             Scenario::by_id("aps-tomography").unwrap().name,
             "APS real-time tomographic reconstruction"
         );
+    }
+
+    #[test]
+    fn resolve_accepts_ids_aliases_and_unique_substrings() {
+        assert_eq!(
+            Scenario::resolve("deleria-frib").unwrap().id,
+            "deleria-frib"
+        );
+        assert_eq!(
+            Scenario::resolve("lcls2").unwrap().id,
+            "lcls-coherent-scattering"
+        );
+        assert_eq!(Scenario::resolve("FRIB").unwrap().id, "deleria-frib");
+        assert_eq!(
+            Scenario::resolve("ptycho").unwrap().id,
+            "aps-u-ptychography"
+        );
+        let err = Scenario::resolve("nonexistent").unwrap_err();
+        assert!(err.contains("known ids"), "{err}");
+        let ambiguous = Scenario::resolve("scattering").unwrap_err();
+        assert!(ambiguous.contains("ambiguous"), "{ambiguous}");
     }
 
     #[test]

@@ -147,6 +147,29 @@ mod tests {
     }
 
     #[test]
+    fn dominant_tie_breaking_prefers_alpha_then_r() {
+        // |e_alpha| == |e_theta| identically (they are ±θT_t/T_pct), so
+        // whenever the transfer term dominates, alpha must win the tie.
+        let s = Sensitivity::of(&params(0.5, 10_000.0, 2.0));
+        assert!((s.e_alpha.abs() - s.e_theta.abs()).abs() < 1e-12);
+        assert!(s.dominant().starts_with("alpha"));
+
+        // Exact three-way tie: θ = 1 and T_remote == θ·T_transfer makes
+        // |e_alpha| == |e_r| == |e_theta|. Alpha outranks r outranks theta.
+        // T_transfer = 2 GB / (0.8 × 25 Gbps) = 0.8 s; remote must do
+        // 34 TF in 0.8 s → 42.5 TFLOPS.
+        let s = Sensitivity::of(&params(0.8, 42.5, 1.0));
+        assert!((s.e_alpha.abs() - s.e_r.abs()).abs() < 1e-12);
+        assert!(s.dominant().starts_with("alpha"));
+
+        // r vs theta tie with alpha out of the running is impossible
+        // (|e_alpha| always equals |e_theta|), so r ≻ theta is exercised
+        // by a compute-dominated point instead.
+        let s = Sensitivity::of(&params(1.0, 12.0, 1.0));
+        assert_eq!(s.dominant(), "r (remote compute)");
+    }
+
+    #[test]
     fn elasticities_sum_property() {
         // e_alpha = -θT_t/T_pct, e_theta = +θT_t/T_pct, e_r = -T_r/T_pct:
         // e_alpha + e_theta = 0 and e_r = -(1 - θT_t/T_pct).

@@ -46,11 +46,13 @@
 //! ```
 
 mod experiment;
+mod frontier;
 mod httpload;
 mod suite;
 mod sweep;
 
 pub use experiment::{ClientRecord, Experiment, ExperimentResult, SpawnStrategy, TransferLog};
+pub use frontier::{boundary_csv, frontier_csv, frontier_table, FrontierJob};
 pub use httpload::{loadtest_table, run_http_load, HttpLoadReport, HttpLoadSpec};
 pub use suite::{
     suite_csv, summary_table, CongestionPoint, IoSummary, ScenarioEvaluation, ScenarioSuite,

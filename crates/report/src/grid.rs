@@ -1,0 +1,159 @@
+//! ASCII glyph grids over labeled numeric axes (decision/regime maps).
+
+/// Renders a rectangular field of single-character cells with axis labels
+/// and an optional legend — the terminal rendering of a frontier or
+/// regime map.
+///
+/// Rows are pushed **bottom-up** (the first pushed row is the lowest y),
+/// matching how numeric grids are usually indexed, and rendered top-down.
+///
+/// ```
+/// use sss_report::CharGrid;
+///
+/// let mut grid = CharGrid::new("wan_gbps", "data_gb", (1.0, 400.0), (0.5, 50.0));
+/// grid.push_row("..SS");
+/// grid.push_row(".LSS");
+/// let text = grid.with_legend("S stream  L local  . infeasible").to_text();
+/// assert!(text.contains(".LSS"));
+/// assert!(text.contains("wan_gbps"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharGrid {
+    x_label: String,
+    y_label: String,
+    x_range: (f64, f64),
+    y_range: (f64, f64),
+    rows: Vec<String>,
+    legend: Option<String>,
+}
+
+/// Compact axis-bound formatting: plain for moderate magnitudes,
+/// scientific elsewhere.
+fn fmt_bound(v: f64) -> String {
+    let a = v.abs();
+    if a == 0.0 || (0.001..100_000.0).contains(&a) {
+        format!("{v}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+impl CharGrid {
+    /// An empty grid over the given axes.
+    pub fn new(
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        x_range: (f64, f64),
+        y_range: (f64, f64),
+    ) -> Self {
+        CharGrid {
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x_range,
+            y_range,
+            rows: Vec::new(),
+            legend: None,
+        }
+    }
+
+    /// Append one row of glyphs, bottom-up.
+    ///
+    /// # Panics
+    /// Panics when the row's glyph count differs from earlier rows.
+    pub fn push_row(&mut self, glyphs: impl Into<String>) -> &mut Self {
+        let row: String = glyphs.into();
+        if let Some(first) = self.rows.first() {
+            assert_eq!(
+                row.chars().count(),
+                first.chars().count(),
+                "grid row width mismatch"
+            );
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Attach a legend line printed below the axes.
+    pub fn with_legend(&mut self, legend: impl Into<String>) -> &mut Self {
+        self.legend = Some(legend.into());
+        self
+    }
+
+    /// Render the grid.
+    pub fn to_text(&self) -> String {
+        let y_hi = fmt_bound(self.y_range.1);
+        let y_lo = fmt_bound(self.y_range.0);
+        let margin = y_hi.len().max(y_lo.len());
+        let mut out = String::new();
+        out.push_str(&format!("{:>margin$} {}\n", "", self.y_label));
+        let last = self.rows.len().saturating_sub(1);
+        for (i, row) in self.rows.iter().rev().enumerate() {
+            let label = if i == 0 {
+                y_hi.as_str()
+            } else if i == last {
+                y_lo.as_str()
+            } else {
+                ""
+            };
+            out.push_str(&format!("{label:>margin$} | {row}\n"));
+        }
+        let width = self.rows.first().map_or(0, |r| r.chars().count());
+        out.push_str(&format!("{:>margin$} +{}\n", "", "-".repeat(width + 1)));
+        let x_lo = fmt_bound(self.x_range.0);
+        let x_hi = fmt_bound(self.x_range.1);
+        let gap = width.saturating_sub(x_lo.chars().count()) + 1;
+        out.push_str(&format!(
+            "{:>margin$}   {x_lo}{:>gap$}  {}\n",
+            "", x_hi, self.x_label
+        ));
+        if let Some(legend) = &self.legend {
+            out.push_str(&format!("{:>margin$} {legend}\n", ""));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rows_top_down_with_axis_bounds() {
+        let mut grid = CharGrid::new("x", "y", (1.0, 400.0), (0.5, 50.0));
+        grid.push_row("bottom".chars().map(|_| 'B').collect::<String>());
+        grid.push_row("toprow".chars().map(|_| 'T').collect::<String>());
+        let text = grid.to_text();
+        let t = text.find("TTTTTT").expect("top row rendered");
+        let b = text.find("BBBBBB").expect("bottom row rendered");
+        assert!(t < b, "last pushed row renders first:\n{text}");
+        assert!(text.contains("50"), "{text}");
+        assert!(text.contains("0.5"), "{text}");
+        assert!(text.contains("400"), "{text}");
+    }
+
+    #[test]
+    fn legend_and_labels_appear() {
+        let mut grid = CharGrid::new("wan_gbps", "data_tb", (1.0, 10.0), (1.0, 2.0));
+        grid.push_row("SS");
+        let text = grid.with_legend("S stream").to_text();
+        assert!(text.contains("wan_gbps"), "{text}");
+        assert!(text.contains("data_tb"), "{text}");
+        assert!(text.contains("S stream"), "{text}");
+    }
+
+    #[test]
+    fn bound_formatting_switches_to_scientific() {
+        assert_eq!(fmt_bound(400.0), "400");
+        assert_eq!(fmt_bound(0.1), "0.1");
+        assert!(fmt_bound(4.0e7).contains('e'));
+        assert!(fmt_bound(1.0e-5).contains('e'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_rejected() {
+        let mut grid = CharGrid::new("x", "y", (0.0, 1.0), (0.0, 1.0));
+        grid.push_row("AA");
+        grid.push_row("A");
+    }
+}

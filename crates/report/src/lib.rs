@@ -20,10 +20,12 @@
 //! ```
 
 mod csv;
+mod grid;
 mod plot;
 mod table;
 
 pub use csv::CsvWriter;
+pub use grid::CharGrid;
 pub use plot::{histogram_bars, AsciiPlot, Scale, Series};
 pub use table::Table;
 

@@ -8,9 +8,10 @@
 
 use serde::{Deserialize, Serialize};
 use sss_core::{
-    decide, BreakEven, Decision, DecisionReport, ModelParams, ParamError, Scenario, Sensitivity,
-    Tier, TierReport,
+    decide, Axis, BreakEven, Decision, DecisionReport, FrontierSpec, ModelParams, ParamError,
+    Scenario, Sensitivity, Tier, TierReport,
 };
+use sss_loadgen::FrontierJob;
 use sss_units::{Bytes, ComputeIntensity, FlopRate, Rate, Ratio};
 
 fn default_theta() -> f64 {
@@ -170,6 +171,81 @@ impl ScenariosResponse {
     }
 }
 
+fn default_resolution() -> usize {
+    16
+}
+
+fn default_tolerance() -> f64 {
+    1e-3
+}
+
+fn default_slices() -> usize {
+    3
+}
+
+/// Body of `POST /frontier`: a base workload plus the axes to map the
+/// break-even boundary over.
+///
+/// Axes use the CLI's compact `name:lo:hi[:log]` notation (e.g.
+/// `"wan_gbps:1:400"`, `"data_tb:0.1:100:log"`). The response is the
+/// serialized [`sss_core::FrontierMap`] — byte-identical to what the CLI
+/// and the sequential reference produce for the same query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierRequest {
+    /// The base operating point, in paper units.
+    pub workload: DecideRequest,
+    /// X axis spec.
+    pub x: String,
+    /// Y axis spec.
+    pub y: String,
+    /// Optional slicing axis spec.
+    #[serde(default)]
+    pub z: Option<String>,
+    /// Coarse-grid samples per primary axis (default 16, max
+    /// [`FrontierRequest::MAX_RESOLUTION`]).
+    #[serde(default = "default_resolution")]
+    pub resolution: usize,
+    /// Boundary tolerance as a fraction of each axis span (default 1e-3).
+    #[serde(default = "default_tolerance")]
+    pub tolerance: f64,
+    /// Z slices when `z` is given (default 3, max
+    /// [`FrontierRequest::MAX_SLICES`]).
+    #[serde(default = "default_slices")]
+    pub slices: usize,
+}
+
+impl FrontierRequest {
+    /// Largest grid the service computes per request.
+    pub const MAX_RESOLUTION: usize = 128;
+    /// Most z slices the service computes per request.
+    pub const MAX_SLICES: usize = 8;
+
+    /// Validate the request into a runnable frontier job.
+    pub fn job(&self) -> Result<FrontierJob, String> {
+        let params = self.workload.params().map_err(|e| e.to_string())?;
+        if self.resolution > Self::MAX_RESOLUTION {
+            return Err(format!(
+                "resolution {} exceeds the service cap of {}",
+                self.resolution,
+                Self::MAX_RESOLUTION
+            ));
+        }
+        if self.slices > Self::MAX_SLICES {
+            return Err(format!(
+                "slices {} exceeds the service cap of {}",
+                self.slices,
+                Self::MAX_SLICES
+            ));
+        }
+        let mut spec = FrontierSpec::new(Axis::parse(&self.x)?, Axis::parse(&self.y)?);
+        spec.z = self.z.as_deref().map(Axis::parse).transpose()?;
+        spec.resolution = self.resolution;
+        spec.tolerance = self.tolerance;
+        spec.slices = self.slices;
+        FrontierJob::new(params, spec)
+    }
+}
+
 /// Body of every non-`200` response.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ErrorResponse {
@@ -252,6 +328,27 @@ mod tests {
             .scenarios
             .iter()
             .any(|e| e.scenario.id == "lcls-coherent-scattering"));
+    }
+
+    #[test]
+    fn frontier_request_defaults_and_caps() {
+        let req: FrontierRequest = serde_json::from_str(&format!(
+            r#"{{"workload":{},"x":"wan_gbps:1:400","y":"data_tb:0.1:100"}}"#,
+            serde_json::to_string(&table3()).unwrap()
+        ))
+        .unwrap();
+        assert_eq!(req.resolution, 16);
+        assert_eq!(req.tolerance, 1e-3);
+        let job = req.job().unwrap();
+        assert_eq!(job.spec().resolution, 16);
+
+        let mut oversized = req.clone();
+        oversized.resolution = 4096;
+        assert!(oversized.job().unwrap_err().contains("cap"), "capped");
+
+        let mut bad_axis = req;
+        bad_axis.x = "frobs:1:2".into();
+        assert!(bad_axis.job().unwrap_err().contains("unknown axis"));
     }
 
     #[test]

@@ -1,25 +1,28 @@
-//! Sharded, memoized decision cache keyed on quantized model parameters.
+//! Sharded, memoized response caches keyed on quantized request identity.
 //!
-//! The decision model is pure, so the serialized response for a parameter
-//! set never changes — repeated facility queries can be answered from
-//! memory in O(1) instead of re-deriving the break-even boundaries and
-//! sensitivities. Two design points matter:
+//! Every endpoint of the service is pure: the serialized response for a
+//! given request never changes, so repeated queries can be answered from
+//! memory in O(1) instead of re-deriving the analysis. Two design points
+//! matter:
 //!
 //! * **Quantized keys.** Operators re-ask the same question with floats
 //!   that differ in the last bits (`0.8` vs `0.8000000000000001`, a GB
-//!   computed two ways). Keys quantize every parameter to 9 significant
-//!   decimal digits, so physically-identical workloads share an entry
-//!   while any meaningful change (well above measurement precision) maps
-//!   to a new one.
-//! * **Sharding.** The cache sits on the hot path of every `/decide`
-//!   batch; a single mutex would serialize the whole pool. Keys hash to
-//!   one of [`SHARDS`] independently-locked shards, so concurrent batches
+//!   computed two ways). [`CacheKey`] quantizes every model parameter to
+//!   9 significant decimal digits, so physically-identical workloads
+//!   share an entry while any meaningful change (well above measurement
+//!   precision) maps to a new one.
+//! * **Sharding.** The cache sits on the hot path of every batch; a
+//!   single mutex would serialize the whole pool. Keys hash to one of
+//!   [`SHARDS`] independently-locked shards, so concurrent batches
 //!   contend only when they touch the same shard.
 //!
+//! The storage itself ([`ResponseCache`]) is generic over the key type:
+//! [`DecisionCache`] keys `/decide` bodies on quantized [`ModelParams`],
+//! and the server keys `/frontier` bodies on the full frontier query.
 //! Entries store the *serialized* response body (`Arc<str>`), not the
-//! response struct: a cache hit returns the exact bytes the miss produced,
-//! which is what makes responses byte-identical across worker counts and
-//! across the hit/miss boundary.
+//! response struct: a cache hit returns the exact bytes the miss
+//! produced, which is what makes responses byte-identical across worker
+//! counts and across the hit/miss boundary.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
@@ -34,8 +37,8 @@ use sss_core::ModelParams;
 /// Number of independently-locked shards.
 pub const SHARDS: usize = 16;
 
-/// A cache key: the seven model parameters, each quantized to 9
-/// significant decimal digits.
+/// A `/decide` cache key: the seven model parameters, each quantized to
+/// 9 significant decimal digits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey([u64; 7]);
 
@@ -63,20 +66,28 @@ impl CacheKey {
             quantize(p.theta.value()),
         ])
     }
-
-    fn shard(&self) -> usize {
-        let mut h = DefaultHasher::new();
-        self.0.hash(&mut h);
-        (h.finish() as usize) % SHARDS
-    }
 }
 
-#[derive(Default)]
-struct Shard {
-    map: HashMap<CacheKey, Arc<str>>,
+fn shard_of<K: Hash>(key: &K) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % SHARDS
+}
+
+struct Shard<K> {
+    map: HashMap<K, Arc<str>>,
     // Insertion order for FIFO eviction. An entry is evicted when its
     // shard exceeds its share of the configured capacity.
-    order: VecDeque<CacheKey>,
+    order: VecDeque<K>,
+}
+
+impl<K> Default for Shard<K> {
+    fn default() -> Self {
+        Shard {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
 }
 
 /// Point-in-time cache counters, served under `/healthz`.
@@ -94,11 +105,11 @@ pub struct CacheStats {
     pub capacity: usize,
 }
 
-/// The sharded response cache. Capacity 0 disables storage entirely
-/// (every lookup is a miss) — the uncached baseline the benches compare
-/// against.
-pub struct DecisionCache {
-    shards: Vec<Mutex<Shard>>,
+/// A sharded body cache over any hashable key. Capacity 0 disables
+/// storage entirely (every lookup is a miss) — the uncached baseline the
+/// benches compare against.
+pub struct ResponseCache<K> {
+    shards: Vec<Mutex<Shard<K>>>,
     per_shard_capacity: usize,
     capacity: usize,
     hits: AtomicU64,
@@ -106,11 +117,14 @@ pub struct DecisionCache {
     evictions: AtomicU64,
 }
 
-impl DecisionCache {
+/// The `/decide` response cache, keyed on quantized model parameters.
+pub type DecisionCache = ResponseCache<CacheKey>;
+
+impl<K: Hash + Eq + Clone> ResponseCache<K> {
     /// Cache bounded to roughly `capacity` entries (rounded up to a
     /// multiple of [`SHARDS`]); 0 disables caching.
     pub fn new(capacity: usize) -> Self {
-        DecisionCache {
+        ResponseCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             per_shard_capacity: capacity.div_ceil(SHARDS),
             capacity,
@@ -121,12 +135,12 @@ impl DecisionCache {
     }
 
     /// Look up a key, counting the hit or miss.
-    pub fn get(&self, key: &CacheKey) -> Option<Arc<str>> {
+    pub fn get(&self, key: &K) -> Option<Arc<str>> {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let found = self.shards[key.shard()].lock().map.get(key).cloned();
+        let found = self.shards[shard_of(key)].lock().map.get(key).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -136,12 +150,12 @@ impl DecisionCache {
 
     /// Store a freshly-evaluated response body, evicting the shard's
     /// oldest entry if it is full. A no-op when caching is disabled.
-    pub fn insert(&self, key: CacheKey, body: Arc<str>) {
+    pub fn insert(&self, key: K, body: Arc<str>) {
         if self.capacity == 0 {
             return;
         }
-        let mut shard = self.shards[key.shard()].lock();
-        if shard.map.insert(key, body).is_none() {
+        let mut shard = self.shards[shard_of(&key)].lock();
+        if shard.map.insert(key.clone(), body).is_none() {
             shard.order.push_back(key);
             if shard.order.len() > self.per_shard_capacity {
                 if let Some(oldest) = shard.order.pop_front() {
@@ -237,5 +251,14 @@ mod tests {
         }
         assert_eq!(cache.stats().entries, 1);
         assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn string_keyed_cache_works() {
+        // The generic storage also backs the /frontier body cache.
+        let cache: ResponseCache<String> = ResponseCache::new(32);
+        cache.insert("query-a".to_string(), Arc::from("map"));
+        assert_eq!(cache.get(&"query-a".to_string()).as_deref(), Some("map"));
+        assert!(cache.get(&"query-b".to_string()).is_none());
     }
 }

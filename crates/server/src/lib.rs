@@ -13,13 +13,16 @@
 //! ```
 //!
 //! * [`server::Server`] — accept loop and router for `POST /decide`,
-//!   `POST /tiers`, `GET /scenarios` and `GET /healthz`.
+//!   `POST /tiers`, `POST /frontier`, `GET /scenarios` and `GET /healthz`.
 //! * [`batch::Batcher`] — micro-batches concurrent `/decide` bodies and
 //!   evaluates each wave of cache misses in one [`sss_exec::ThreadPool`]
-//!   fan-out.
-//! * [`cache::DecisionCache`] — sharded memoization keyed on quantized
-//!   [`ModelParams`](sss_core::ModelParams); repeat queries are answered
-//!   from memory with the exact bytes the first evaluation produced.
+//!   fan-out. `/frontier` requests fan their grid rows and boundary edges
+//!   across the same pool size, and memoize whole response bodies.
+//! * [`cache::ResponseCache`] — sharded body memoization; the
+//!   [`cache::DecisionCache`] instance keys `/decide` on quantized
+//!   [`ModelParams`](sss_core::ModelParams), a second instance keys
+//!   `/frontier` on the full query. Repeat queries are answered from
+//!   memory with the exact bytes the first evaluation produced.
 //! * [`api`] — the JSON request/response types, in the paper's own units.
 //!
 //! # Example
@@ -67,9 +70,9 @@ pub mod http;
 pub mod server;
 
 pub use api::{
-    DecideRequest, DecideResponse, ErrorResponse, ScenarioEntry, ScenariosResponse, TiersRequest,
-    TiersResponse,
+    DecideRequest, DecideResponse, ErrorResponse, FrontierRequest, ScenarioEntry,
+    ScenariosResponse, TiersRequest, TiersResponse,
 };
 pub use batch::{BatchStats, Batcher};
-pub use cache::{CacheKey, CacheStats, DecisionCache};
+pub use cache::{CacheKey, CacheStats, DecisionCache, ResponseCache};
 pub use server::{Health, Server, ServerConfig, ServerHandle};

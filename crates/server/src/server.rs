@@ -1,18 +1,21 @@
 //! The TCP accept loop, request router, and lifecycle handle.
 
+use std::collections::HashSet;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use sss_units::Ratio;
 
-use crate::api::{ErrorResponse, ScenariosResponse, TiersRequest};
+use sss_exec::ThreadPool;
+
+use crate::api::{ErrorResponse, FrontierRequest, ScenariosResponse, TiersRequest};
 use crate::batch::{BatchStats, Batcher};
-use crate::cache::{CacheStats, DecisionCache};
+use crate::cache::{CacheKey, CacheStats, DecisionCache, ResponseCache};
 use crate::http::{read_request, write_response, HttpError, Request};
 
 /// How the service is sized. `Default` is a sensible interactive setup:
@@ -43,9 +46,50 @@ impl Default for ServerConfig {
     }
 }
 
+/// The identity of a `/frontier` query: quantized base parameters plus
+/// every knob that shapes the map. Two requests with the same key get the
+/// same bytes back.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FrontierKey {
+    params: CacheKey,
+    x: String,
+    y: String,
+    z: Option<String>,
+    resolution: usize,
+    tolerance_bits: u64,
+    slices: usize,
+}
+
+impl FrontierKey {
+    fn of(request: &FrontierRequest, params: &sss_core::ModelParams) -> Self {
+        FrontierKey {
+            params: CacheKey::of(params),
+            x: request.x.clone(),
+            y: request.y.clone(),
+            z: request.z.clone(),
+            resolution: request.resolution,
+            tolerance_bits: request.tolerance.to_bits(),
+            slices: request.slices,
+        }
+    }
+}
+
+/// Frontier responses are three orders of magnitude bigger than decide
+/// bodies, so their cache holds at most this many entries regardless of
+/// the configured `/decide` capacity.
+const FRONTIER_CACHE_CAP: usize = 64;
+
 /// Everything a connection thread needs, shared behind one `Arc`.
 struct AppState {
     cache: Arc<DecisionCache>,
+    frontier_cache: ResponseCache<FrontierKey>,
+    /// Shared pool for `/frontier` cache misses, sized like the batcher's.
+    frontier_pool: ThreadPool,
+    /// Single-flight set: keys currently being computed. Concurrent
+    /// identical `/frontier` misses wait on `frontier_done` instead of
+    /// burning the pool N times for one answer.
+    frontier_inflight: Mutex<HashSet<FrontierKey>>,
+    frontier_done: Condvar,
     batcher: Batcher,
     scenarios_body: Arc<str>,
     started: Instant,
@@ -71,6 +115,8 @@ pub struct Health {
     pub cache: CacheStats,
     /// Batching counters.
     pub batch: BatchStats,
+    /// `/frontier` body-cache counters.
+    pub frontier_cache: CacheStats,
 }
 
 /// A bound-but-not-yet-serving instance: inspect [`Server::local_addr`],
@@ -96,6 +142,10 @@ impl Server {
             listener,
             state: Arc::new(AppState {
                 cache,
+                frontier_cache: ResponseCache::new(config.cache_capacity.min(FRONTIER_CACHE_CAP)),
+                frontier_pool: ThreadPool::new(config.workers),
+                frontier_inflight: Mutex::new(HashSet::new()),
+                frontier_done: Condvar::new(),
                 batcher,
                 scenarios_body,
                 started: Instant::now(),
@@ -229,9 +279,10 @@ fn route(request: &Request, state: &AppState) -> (u16, Arc<str>) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/decide") => handle_decide(&request.body, state),
         ("POST", "/tiers") => handle_tiers(&request.body),
+        ("POST", "/frontier") => handle_frontier(&request.body, state),
         ("GET", "/scenarios") => (200, state.scenarios_body.clone()),
         ("GET", "/healthz") => handle_healthz(state),
-        (_, "/decide" | "/tiers" | "/scenarios" | "/healthz") => (
+        (_, "/decide" | "/tiers" | "/frontier" | "/scenarios" | "/healthz") => (
             405,
             error_body(format!(
                 "method {} not allowed on {}",
@@ -248,6 +299,82 @@ fn handle_decide(body: &[u8], state: &AppState) -> (u16, Arc<str>) {
         Err(msg) => return (400, error_body(msg)),
     };
     (200, state.batcher.submit(params))
+}
+
+/// `POST /frontier`: parse the query, answer repeats from the memoized
+/// body cache, and compute misses by fanning the frontier's grid rows and
+/// boundary edges across a worker pool — the per-cell analogue of the
+/// `/decide` batch wave. The computation is position-seeded, so the bytes
+/// served are independent of worker count and of the hit/miss boundary.
+fn handle_frontier(body: &[u8], state: &AppState) -> (u16, Arc<str>) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, error_body("body is not UTF-8".into())),
+    };
+    let request: FrontierRequest = match serde_json::from_str(text) {
+        Ok(r) => r,
+        Err(e) => return (400, error_body(format!("bad frontier request: {e}"))),
+    };
+    let job = match request.job() {
+        Ok(job) => job,
+        Err(e) => return (400, error_body(e)),
+    };
+    let key = FrontierKey::of(&request, job.base());
+    // Single-flight: the first thread to miss computes; identical
+    // concurrent misses wait for its insert and are then served from the
+    // cache (so their answers are the computer's exact bytes). The
+    // vendored parking_lot has no Condvar, so this uses std's; a poisoned
+    // lock is recovered rather than propagated (the critical sections are
+    // pure HashSet operations, so the set cannot be left inconsistent).
+    fn lock_inflight(state: &AppState) -> std::sync::MutexGuard<'_, HashSet<FrontierKey>> {
+        state
+            .frontier_inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+    loop {
+        if let Some(hit) = state.frontier_cache.get(&key) {
+            return (200, hit);
+        }
+        let mut inflight = lock_inflight(state);
+        if inflight.insert(key.clone()) {
+            break;
+        }
+        // Someone else is computing this key: wait for them to finish,
+        // then re-check the cache. (With caching disabled the waiter
+        // recomputes — degenerate but correct.)
+        drop(
+            state
+                .frontier_done
+                .wait(inflight)
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+    }
+    // Remove the claim even if serialization or the pool panics, so an
+    // identical later request is never stuck waiting forever.
+    struct InflightClaim<'a> {
+        state: &'a AppState,
+        key: &'a FrontierKey,
+    }
+    impl Drop for InflightClaim<'_> {
+        fn drop(&mut self) {
+            lock_inflight(self.state).remove(self.key);
+            self.state.frontier_done.notify_all();
+        }
+    }
+    let claim = InflightClaim { state, key: &key };
+    // Re-check after winning the claim: another computer's insert may
+    // have landed between our miss and our claim, and recomputing a
+    // full grid for bytes already in the cache would waste the pool.
+    if let Some(hit) = state.frontier_cache.get(&key) {
+        drop(claim);
+        return (200, hit);
+    }
+    let map = job.run(&state.frontier_pool);
+    let body: Arc<str> = Arc::from(serde_json::to_string(&map).expect("frontier map serializes"));
+    state.frontier_cache.insert(key.clone(), body.clone());
+    drop(claim);
+    (200, body)
 }
 
 fn handle_tiers(body: &[u8]) -> (u16, Arc<str>) {
@@ -285,6 +412,7 @@ fn handle_healthz(state: &AppState) -> (u16, Arc<str>) {
         max_batch: state.config.max_batch,
         cache: state.cache.stats(),
         batch: state.batcher.stats(),
+        frontier_cache: state.frontier_cache.stats(),
     };
     (
         200,

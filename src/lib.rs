@@ -61,16 +61,18 @@ pub use sss_units as units;
 /// the model, run the simulators.
 pub mod prelude {
     pub use sss_core::{
-        decide, BreakEven, CompletionModel, CongestionCurve, Decision, DecisionReport, ModelParams,
-        RegimeMap, Scenario, ScenarioSpec, StreamingSpeedScore, Tier, TierReport,
+        decide, Axis, BreakEven, CompletionModel, CongestionCurve, Decision, DecisionReport,
+        FrontierMap, FrontierSpec, ModelParams, RegimeMap, Scenario, ScenarioSpec,
+        StreamingSpeedScore, Tier, TierReport,
     };
     pub use sss_exec::ThreadPool;
     pub use sss_iosim::{
         presets, FileBasedPipeline, FrameSource, MovementResult, StreamingPipeline,
     };
     pub use sss_loadgen::{
-        run_http_load, summary_table, sweep, Experiment, ExperimentResult, HttpLoadSpec,
-        ScenarioEvaluation, ScenarioSuite, SpawnStrategy, SuiteConfig, SweepSpec,
+        frontier_csv, frontier_table, run_http_load, summary_table, sweep, Experiment,
+        ExperimentResult, FrontierJob, HttpLoadSpec, ScenarioEvaluation, ScenarioSuite,
+        SpawnStrategy, SuiteConfig, SweepSpec,
     };
     pub use sss_netsim::{FlowSpec, SimConfig, SimTime, Simulator};
     pub use sss_server::{Server, ServerConfig};

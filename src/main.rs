@@ -4,6 +4,7 @@
 //! stream-score decide --data 2GB --intensity 17TF/GB --local 10TF \
 //!                     --remote 340TF --bw 25Gbps --alpha 0.8 [--theta 1.5]
 //! stream-score scenarios            # evaluate every bundled facility scenario
+//! stream-score frontier --scenario lcls2 --x wan_gbps:1:400 --y data_tb:0.1:100
 //! stream-score probe [--seconds 3]  # mini congestion sweep on the testbed model
 //! stream-score tiers --data 2GB --intensity 17TF/GB --local 10TF \
 //!                    --remote 340TF --bw 25Gbps --alpha 0.8 --sss 7.5
@@ -17,10 +18,15 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+use stream_score::core::frontier::{AlphaJitter, Axis, FrontierMap, FrontierSpec};
 use stream_score::core::planner::plan_for_tier;
 use stream_score::core::sensitivity::Sensitivity;
-use stream_score::loadgen::{loadtest_table, run_http_load, HttpLoadSpec};
+use stream_score::loadgen::{
+    boundary_csv, frontier_csv, frontier_table, loadtest_table, run_http_load, FrontierJob,
+    HttpLoadSpec,
+};
 use stream_score::prelude::*;
+use stream_score::report::CharGrid;
 use stream_score::server::{Server, ServerConfig};
 
 fn usage() -> &'static str {
@@ -35,6 +41,13 @@ fn usage() -> &'static str {
        stream-score scenarios [--depth quick|full] [--mode parallel|sequential]\n\
                               [--workers <N>] [--levels 1,4,8] [--seconds <N>]\n\
                               [--seed <N>] [--format text|md]\n\
+       stream-score frontier  --scenario <ID> | (same flags as decide)\n\
+                              --x <AXIS:LO:HI[:log]> --y <AXIS:LO:HI[:log]>\n\
+                              [--z <AXIS:LO:HI[:log]> --slices <N>]\n\
+                              [--resolution <N>] [--tolerance <T>]\n\
+                              [--mode parallel|sequential] [--workers <N>]\n\
+                              [--jitter-sd <SD> --jitter-samples <N>] [--seed <N>]\n\
+                              [--format text|md|csv]\n\
        stream-score probe     [--seconds <N>] [--concurrency <N>]\n\
        stream-score serve     [--port <N>] [--workers <N>]\n\
                               [--cache-capacity <N>] [--batch-max <N>]\n\
@@ -47,7 +60,8 @@ fn usage() -> &'static str {
        stream-score decide --data 2GB --intensity 17TF/GB --local 10TF \\\n\
                            --remote 340TF --bw 25Gbps --alpha 0.8\n\
        stream-score tiers  --data 2GB --intensity 17TF/GB --local 10TF \\\n\
-                           --remote 340TF --bw 25Gbps --alpha 0.8 --sss 7.5\n"
+                           --remote 340TF --bw 25Gbps --alpha 0.8 --sss 7.5\n\
+       stream-score frontier --scenario lcls2 --x wan_gbps:1:400 --y data_tb:0.1:100\n"
 }
 
 /// Parse `--key value` pairs, naming the offending flag on malformed or
@@ -280,8 +294,8 @@ fn cmd_scenarios(flags: &HashMap<String, String>) -> Result<(), String> {
             suite.run_sequential()
         }
         Some("parallel") | None => {
-            let pool = match flags.get("workers") {
-                Some(w) => ThreadPool::new(w.parse().map_err(|_| format!("bad --workers {w}"))?),
+            let pool = match parse_workers(flags)? {
+                Some(n) => ThreadPool::new(n),
                 None => ThreadPool::with_available_parallelism(),
             };
             suite.run(&pool)
@@ -313,6 +327,150 @@ fn cmd_scenarios(flags: &HashMap<String, String>) -> Result<(), String> {
         print!("{}", table.to_text());
     }
     Ok(())
+}
+
+/// Glyph for one frontier cell.
+fn decision_glyph(d: Decision) -> char {
+    match d {
+        Decision::RemoteStream => 'S',
+        Decision::Local => 'L',
+        Decision::Infeasible => '.',
+    }
+}
+
+fn cmd_frontier(flags: &HashMap<String, String>) -> Result<(), String> {
+    // Base operating point: a registered scenario, or explicit flags.
+    let base = match flags.get("scenario") {
+        Some(query) => {
+            for conflicting in [
+                "data",
+                "intensity",
+                "local",
+                "remote",
+                "bw",
+                "alpha",
+                "theta",
+            ] {
+                if flags.contains_key(conflicting) {
+                    return Err(format!("--{conflicting} conflicts with --scenario"));
+                }
+            }
+            let scenario = Scenario::resolve(query)?;
+            println!("scenario: {} [{}]", scenario.name, scenario.id);
+            scenario.params
+        }
+        None => params_from_flags(flags)?,
+    };
+
+    let x = Axis::parse(
+        flags
+            .get("x")
+            .ok_or("missing --x (e.g. --x wan_gbps:1:400)")?,
+    )?;
+    let y = Axis::parse(
+        flags
+            .get("y")
+            .ok_or("missing --y (e.g. --y data_tb:0.1:100)")?,
+    )?;
+    let mut spec = FrontierSpec::new(x, y);
+    spec.z = flags.get("z").map(|s| Axis::parse(s)).transpose()?;
+    if spec.z.is_none() && flags.contains_key("slices") {
+        return Err("--slices needs --z (slices cut along the z axis)".into());
+    }
+    spec.resolution = flag_or(flags, "resolution", 24usize)?;
+    spec.tolerance = flag_or(flags, "tolerance", 1e-3f64)?;
+    spec.slices = flag_or(flags, "slices", 3usize)?;
+    spec.seed = flag_or(flags, "seed", 42u64)?;
+    if let Some(sd) = flags.get("jitter-sd") {
+        spec.jitter = Some(AlphaJitter {
+            sd: sd.parse().map_err(|_| format!("bad --jitter-sd {sd:?}"))?,
+            samples: flag_or(flags, "jitter-samples", 200usize)?,
+        });
+    } else if flags.contains_key("jitter-samples") {
+        return Err("--jitter-samples needs --jitter-sd".into());
+    } else if flags.contains_key("seed") {
+        return Err("--seed only affects --jitter-sd sampling; set both or neither".into());
+    }
+
+    let job = FrontierJob::new(base, spec)?;
+    let map = match flags.get("mode").map(String::as_str) {
+        Some("sequential") => {
+            if flags.contains_key("workers") {
+                return Err("--workers conflicts with --mode sequential".into());
+            }
+            job.run_sequential()
+        }
+        Some("parallel") | None => {
+            let pool = match parse_workers(flags)? {
+                Some(n) => ThreadPool::new(n),
+                None => ThreadPool::with_available_parallelism(),
+            };
+            job.run(&pool)
+        }
+        Some(other) => {
+            return Err(format!(
+                "unknown mode {other:?} (use parallel or sequential)"
+            ))
+        }
+    };
+
+    match flags.get("format").map(String::as_str) {
+        Some("csv") => {
+            print!("{}", frontier_csv(&map).as_str());
+            print!("{}", boundary_csv(&map).as_str());
+        }
+        format @ (Some("md") | Some("text") | None) => {
+            print_frontier(&map);
+            let table = frontier_table(&map);
+            if format == Some("md") {
+                print!("{}", table.to_markdown());
+            } else {
+                print!("{}", table.to_text());
+            }
+            println!(
+                "{} boundary points, {} model evaluations (dense grid at this tolerance: {}, \
+                 {:.0}× saved)",
+                map.slices.iter().map(|s| s.boundary.len()).sum::<usize>(),
+                map.evaluations,
+                map.dense_grid_equivalent,
+                map.savings_factor()
+            );
+        }
+        Some(other) => return Err(format!("unknown format {other:?} (use text, md or csv)")),
+    }
+    Ok(())
+}
+
+/// Render each slice of the map as an ASCII decision grid.
+fn print_frontier(map: &FrontierMap) {
+    for slice in &map.slices {
+        if let (Some(axis), Some(z)) = (&map.spec.z, slice.z) {
+            println!("--- {} = {z:.4} ---", axis.name);
+        }
+        let mut grid = CharGrid::new(
+            map.spec.x.name.clone(),
+            map.spec.y.name.clone(),
+            (map.spec.x.lo, map.spec.x.hi),
+            (map.spec.y.lo, map.spec.y.hi),
+        );
+        for row in &slice.cells {
+            grid.push_row(
+                row.iter()
+                    .map(|c| decision_glyph(c.decision))
+                    .collect::<String>(),
+            );
+        }
+        grid.with_legend("S remote-stream   L local   . infeasible");
+        println!("{}", grid.to_text());
+        if slice.boundary.is_empty() {
+            let uniform = slice.cells[0][0].decision;
+            println!(
+                "note: the whole window is {uniform:?} — the break-even curve lies outside \
+                 these axis ranges. Widen --x/--y (for data-volume axes the feasibility \
+                 diagonal sits at Bw = 8·S_gb/α Gbps)."
+            );
+        }
+    }
 }
 
 fn cmd_probe(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -359,6 +517,23 @@ fn cmd_probe(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse the optional `--workers` flag, rejecting 0 up front: a pool with
+/// zero workers cannot make progress, and silently clamping would make
+/// `--workers 0` lie about the parallelism used. Shared by `scenarios`,
+/// `loadtest`, `serve` and `frontier`.
+fn parse_workers(flags: &HashMap<String, String>) -> Result<Option<usize>, String> {
+    match flags.get("workers") {
+        Some(raw) => {
+            let n: usize = raw.parse().map_err(|_| format!("bad --workers {raw:?}"))?;
+            if n == 0 {
+                return Err("--workers must be >= 1 (a pool with zero workers cannot run)".into());
+            }
+            Ok(Some(n))
+        }
+        None => Ok(None),
+    }
+}
+
 /// Parse an optional numeric flag with a default.
 fn flag_or<T: std::str::FromStr>(
     flags: &HashMap<String, String>,
@@ -374,18 +549,16 @@ fn flag_or<T: std::str::FromStr>(
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let config = ServerConfig {
         port: flag_or(flags, "port", 8080u16)?,
-        workers: flag_or(
-            flags,
-            "workers",
+        workers: parse_workers(flags)?.unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())
-                .unwrap_or(1),
-        )?,
+                .unwrap_or(1)
+        }),
         cache_capacity: flag_or(flags, "cache-capacity", 4096usize)?,
         max_batch: flag_or(flags, "batch-max", 32usize)?,
     };
-    if config.workers == 0 || config.max_batch == 0 {
-        return Err("--workers and --batch-max must be positive".into());
+    if config.max_batch == 0 {
+        return Err("--batch-max must be positive".into());
     }
     let server =
         Server::bind(config).map_err(|e| format!("cannot bind port {}: {e}", config.port))?;
@@ -396,7 +569,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         config.cache_capacity,
         config.max_batch
     );
-    println!("endpoints: POST /decide, POST /tiers, GET /scenarios, GET /healthz");
+    println!("endpoints: POST /decide, POST /tiers, POST /frontier, GET /scenarios, GET /healthz");
     server.run().map_err(|e| format!("server failed: {e}"))
 }
 
@@ -433,13 +606,11 @@ fn cmd_loadtest(flags: &HashMap<String, String>) -> Result<(), String> {
             let config = ServerConfig {
                 port: 0,
                 cache_capacity: flag_or(flags, "cache-capacity", 4096usize)?,
-                workers: flag_or(
-                    flags,
-                    "workers",
+                workers: parse_workers(flags)?.unwrap_or_else(|| {
                     std::thread::available_parallelism()
                         .map(|n| n.get())
-                        .unwrap_or(1),
-                )?,
+                        .unwrap_or(1)
+                }),
                 ..ServerConfig::default()
             };
             let server = Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;
@@ -487,6 +658,7 @@ fn main() -> ExitCode {
         "tiers" => cmd_tiers(&flags),
         "plan" => cmd_plan(&flags),
         "scenarios" => cmd_scenarios(&flags),
+        "frontier" => cmd_frontier(&flags),
         "probe" => cmd_probe(&flags),
         "serve" => cmd_serve(&flags),
         "loadtest" => cmd_loadtest(&flags),

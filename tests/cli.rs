@@ -139,6 +139,127 @@ fn scenarios_rejects_bad_depth() {
     assert!(stderr.contains("unknown depth"), "{stderr}");
 }
 
+const FRONTIER_QUICK: &[&str] = &[
+    "frontier",
+    "--scenario",
+    "lcls2",
+    "--x",
+    "wan_gbps:1:400",
+    "--y",
+    "data_gb:0.5:50",
+    "--resolution",
+    "10",
+];
+
+#[test]
+fn frontier_maps_a_scenario_with_aliases() {
+    let (ok, stdout, stderr) = run(FRONTIER_QUICK);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("lcls-coherent-scattering"), "{stdout}");
+    assert!(stdout.contains("wan_gbps"), "{stdout}");
+    assert!(stdout.contains("boundary points"), "{stdout}");
+    assert!(stdout.contains("remote-stream"), "{stdout}");
+}
+
+#[test]
+fn frontier_parallel_and_sequential_agree() {
+    let mut seq: Vec<&str> = FRONTIER_QUICK.to_vec();
+    seq.extend_from_slice(&["--mode", "sequential"]);
+    let mut par: Vec<&str> = FRONTIER_QUICK.to_vec();
+    par.extend_from_slice(&["--workers", "8"]);
+    let (ok_a, stdout_a, _) = run(&seq);
+    let (ok_b, stdout_b, _) = run(&par);
+    assert!(ok_a && ok_b);
+    assert_eq!(stdout_a, stdout_b, "frontier output must be bit-identical");
+}
+
+#[test]
+fn frontier_csv_format_lists_cells_and_boundary() {
+    let mut args: Vec<&str> = FRONTIER_QUICK.to_vec();
+    args.extend_from_slice(&["--format", "csv"]);
+    let (ok, stdout, _) = run(&args);
+    assert!(ok);
+    assert!(stdout.contains("z,x,y,decision,gain,p_remote"), "{stdout}");
+    assert!(
+        stdout.contains("z,x,y,axis,lower,upper,width,evals"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn frontier_rejects_bad_axes_and_scenarios() {
+    let (ok, _, stderr) = run(&[
+        "frontier",
+        "--scenario",
+        "lcls2",
+        "--x",
+        "parsecs:1:2",
+        "--y",
+        "data_gb:1:10",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown axis"), "{stderr}");
+
+    let (ok, _, stderr) = run(&[
+        "frontier",
+        "--scenario",
+        "atlantis",
+        "--x",
+        "wan_gbps:1:400",
+        "--y",
+        "data_gb:1:10",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown scenario"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["frontier", "--scenario", "lcls2", "--y", "data_gb:1:10"]);
+    assert!(!ok);
+    assert!(stderr.contains("missing --x"), "{stderr}");
+}
+
+#[test]
+fn workers_zero_rejected_everywhere() {
+    for args in [
+        &[
+            "scenarios",
+            "--levels",
+            "1",
+            "--seconds",
+            "1",
+            "--workers",
+            "0",
+        ] as &[&str],
+        &[
+            "loadtest",
+            "--clients",
+            "1",
+            "--requests",
+            "1",
+            "--workers",
+            "0",
+        ],
+        &["serve", "--port", "0", "--workers", "0"],
+        &[
+            "frontier",
+            "--scenario",
+            "lcls2",
+            "--x",
+            "wan_gbps:1:400",
+            "--y",
+            "data_gb:1:10",
+            "--workers",
+            "0",
+        ],
+    ] {
+        let (ok, _, stderr) = run(args);
+        assert!(!ok, "{args:?} must fail");
+        assert!(
+            stderr.contains("--workers must be >= 1"),
+            "{args:?}: {stderr}"
+        );
+    }
+}
+
 #[test]
 fn missing_flags_fail_with_usage() {
     let (ok, _, stderr) = run(&["decide", "--data", "2GB"]);
