@@ -1,8 +1,9 @@
 //! Run every regenerator in sequence, leaving all artifacts in
 //! `results/`. Equivalent to invoking fig2a, fig2b, fig3, fig4, tables,
-//! case_study, regimes, ablation_continuum, headline, scenario_suite and
-//! frontier_map one by one, but reuses the expensive Figure 2 sweeps
-//! across the binaries that need them by caching the curve JSON.
+//! case_study, regimes, ablation_continuum, headline, scenario_suite,
+//! frontier_map and batch_scaling one by one, but reuses the expensive
+//! Figure 2 sweeps across the binaries that need them by caching the
+//! curve JSON.
 
 use std::process::Command;
 
@@ -20,6 +21,7 @@ fn main() {
         "headline",
         "scenario_suite",
         "frontier_map",
+        "batch_scaling",
     ];
     let exe = std::env::current_exe().expect("own path");
     let bin_dir = exe.parent().expect("bin dir");

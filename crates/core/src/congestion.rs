@@ -271,6 +271,68 @@ mod tests {
     }
 
     #[test]
+    fn mm1_asymptote_at_zero_load() {
+        let q = MM1Reference;
+        // ρ → 0⁺: inflation converges to 1 (no queueing at all)...
+        assert!((q.inflation(1e-12) - 1.0).abs() < 1e-9);
+        assert!((q.inflation(1e-6) - 1.0).abs() < 1e-5);
+        // ...and the boundary/clamped values agree with the limit.
+        assert_eq!(q.inflation(0.0), 1.0);
+        assert_eq!(q.inflation(-0.5), 1.0);
+    }
+
+    #[test]
+    fn mm1_asymptote_at_saturation() {
+        let q = MM1Reference;
+        // ρ → 1⁻: inflation grows without bound as 1/(1 − ρ), strictly
+        // monotonically.
+        let mut last = 0.0;
+        for k in 1..=12 {
+            let rho = 1.0 - 10f64.powi(-k);
+            let inflation = q.inflation(rho);
+            assert!(
+                (inflation - 10f64.powi(k)).abs() <= 1e-3 * 10f64.powi(k),
+                "1/(1-ρ) law broken at ρ = {rho}: {inflation}"
+            );
+            assert!(inflation > last);
+            last = inflation;
+        }
+        // At and beyond saturation the queue is unstable: infinite mean.
+        assert_eq!(q.inflation(1.0), f64::INFINITY);
+        assert_eq!(q.inflation(1.5), f64::INFINITY);
+    }
+
+    #[test]
+    fn mg1_asymptote_at_zero_load() {
+        for cv2 in [0.0, 1.0, 4.0, 25.0] {
+            let q = MG1Reference { cv2 };
+            // Waiting vanishes as ρ → 0 regardless of service variance.
+            assert!((q.inflation(1e-12) - 1.0).abs() < 1e-9, "cv2 {cv2}");
+            assert_eq!(q.inflation(0.0), 1.0);
+            assert_eq!(q.inflation(-1.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn mg1_asymptote_at_saturation_scales_with_variance() {
+        // Pollaczek–Khinchine: as ρ → 1 the M/G/1 inflation approaches
+        // (1 + c_v²)/2 times the M/M/1 one — burstiness multiplies the
+        // blow-up but never prevents it.
+        let mm1 = MM1Reference;
+        for cv2 in [0.0, 1.0, 4.0] {
+            let q = MG1Reference { cv2 };
+            let rho = 1.0 - 1e-9;
+            let ratio = q.inflation(rho) / mm1.inflation(rho);
+            assert!(
+                (ratio - (1.0 + cv2) / 2.0).abs() < 1e-6,
+                "cv2 {cv2}: ratio {ratio}"
+            );
+            assert_eq!(q.inflation(1.0), f64::INFINITY);
+            assert_eq!(q.inflation(2.0), f64::INFINITY);
+        }
+    }
+
+    #[test]
     fn mg1_matches_mm1_for_exponential() {
         let mm1 = MM1Reference;
         let mg1 = MG1Reference { cv2: 1.0 };

@@ -9,6 +9,10 @@
 //!   `T_IO`, and the total processing-completion time `T_pct`.
 //! * [`StreamingSpeedScore`] — Eq. 11: worst-case over theoretical
 //!   transfer time, measured under controlled congestion.
+//! * [`batch`] — the struct-of-arrays evaluation engine: flat parameter
+//!   columns plus allocation-free, auto-vectorizable kernels shared (at
+//!   `n = 1`) by the scalar model, and by every bulk consumer — Monte
+//!   Carlo, the frontier, the scenario suite, the decision service.
 //! * [`decision`] — the stream / stay-local verdict, feasibility checks,
 //!   analytic break-even boundaries and (α, r) regime maps.
 //! * [`frontier`] — break-even frontier maps over arbitrary parameter
@@ -53,6 +57,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod congestion;
 pub mod decision;
 pub mod delay;
@@ -66,8 +71,9 @@ pub mod sensitivity;
 pub mod sss;
 pub mod tiers;
 
+pub use batch::{BatchEvaluator, BatchView, EvalEngine, ParamsBatch};
 pub use congestion::{CongestionCurve, Curve1D, MG1Reference, MM1Reference};
-pub use decision::{decide, BreakEven, Decision, DecisionReport, RegimeMap};
+pub use decision::{decide, decide_batch, BreakEven, Decision, DecisionReport, RegimeMap};
 pub use delay::{ContinuumApproximation, DelayDecomposition};
 pub use frontier::{
     AlphaJitter, Axis, AxisParam, BoundaryPoint, Edge, FrontierCell, FrontierMap, FrontierSlice,

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use sss_units::{Ratio, TimeDelta};
 
+use crate::batch::kernel;
 use crate::params::ModelParams;
 
 /// Evaluates the paper's completion-time equations for one parameter set.
@@ -43,21 +44,40 @@ impl CompletionModel {
         &self.params
     }
 
+    /// The batch kernels' seven raw arguments, in base units. The model is
+    /// the `n = 1` wrapper over `sss_core::batch`: every method below
+    /// delegates to the same inline kernels the batched loops run, so the
+    /// two paths cannot drift apart.
+    #[inline(always)]
+    fn raw(&self) -> (f64, f64, f64, f64, f64, f64, f64) {
+        let p = &self.params;
+        (
+            p.data_unit.as_b(),
+            p.intensity.as_flop_per_byte(),
+            p.local_rate.as_flops(),
+            p.remote_rate.as_flops(),
+            p.bandwidth.as_bytes_per_sec(),
+            p.alpha.value(),
+            p.theta.value(),
+        )
+    }
+
     /// Eq. 3 — `T_local = C·S_unit / R_local`.
     pub fn t_local(&self) -> TimeDelta {
-        let work = self.params.intensity * self.params.data_unit;
-        work / self.params.local_rate
+        let (s, c, rl, ..) = self.raw();
+        TimeDelta::from_secs(kernel::t_local(s, c, rl))
     }
 
     /// Eq. 5 — `T_transfer = S_unit / (α·Bw)`.
     pub fn t_transfer(&self) -> TimeDelta {
-        self.params.data_unit / self.params.effective_rate()
+        let (s, _, _, _, bw, a, _) = self.raw();
+        TimeDelta::from_secs(kernel::t_transfer(s, bw, a))
     }
 
     /// Eq. 6 — `T_remote = C·S_unit / (r·R_local) = C·S_unit / R_remote`.
     pub fn t_remote(&self) -> TimeDelta {
-        let work = self.params.intensity * self.params.data_unit;
-        work / self.params.remote_rate
+        let (s, c, _, rr, ..) = self.raw();
+        TimeDelta::from_secs(kernel::t_remote(s, c, rr))
     }
 
     /// `T_IO` from Eq. 7/8 — `(θ − 1)·T_transfer`.
@@ -68,20 +88,31 @@ impl CompletionModel {
     /// Eq. 9/10 — total processing-completion time for the remote path:
     /// `T_pct = θ·S_unit/(α·Bw) + C·S_unit/(r·R_local)`.
     pub fn t_pct(&self) -> TimeDelta {
-        self.t_transfer() * self.params.theta + self.t_remote()
+        let (s, c, _, rr, bw, a, th) = self.raw();
+        TimeDelta::from_secs(kernel::t_pct(s, c, rr, bw, a, th))
     }
 
     /// The gain of going remote: `T_local / T_pct` (> 1 means remote
     /// wins). The conclusion calls this "a gain function based on three
     /// core parameters: α, r and θ".
+    ///
+    /// Guarded against the zero-adjacent corners: a `0/0` tie (both paths
+    /// instantaneous) reads as 1, and a zero `T_pct` with positive
+    /// `T_local` saturates to `f64::MAX` — never `inf` or `NaN`.
     pub fn gain(&self) -> Ratio {
-        self.t_local() / self.t_pct()
+        let (s, c, rl, rr, bw, a, th) = self.raw();
+        Ratio::new(kernel::gain(s, c, rl, rr, bw, a, th))
     }
 
     /// Completion-time reduction from going remote, as a fraction of the
     /// local time: `1 − T_pct/T_local` (negative when remote is slower).
+    ///
+    /// Guarded like [`CompletionModel::gain`]: a zero `T_local` (e.g. a
+    /// `C = 0` pure-movement workload) yields a large negative finite
+    /// value rather than `-inf`, and a `0/0` tie yields exactly 0.
     pub fn reduction(&self) -> f64 {
-        1.0 - self.t_pct().as_secs() / self.t_local().as_secs()
+        let (s, c, rl, rr, bw, a, th) = self.raw();
+        kernel::reduction(s, c, rl, rr, bw, a, th)
     }
 
     /// Worst-case variant of Eq. 9: replace the average-case transfer
@@ -170,6 +201,57 @@ mod tests {
         assert!(
             (ideal.t_pct_worst_case(Ratio::ONE).as_secs() - ideal.t_pct().as_secs()).abs() < 1e-12
         );
+    }
+
+    #[test]
+    fn zero_intensity_keeps_gain_and_reduction_finite() {
+        // C = 0 (pure data movement) is constructible: T_local = 0 while
+        // T_pct > 0. The naive ratios would be 0/x and x/0.
+        let p = ModelParams::builder()
+            .data_unit(Bytes::from_gb(2.0))
+            .intensity(ComputeIntensity::ZERO)
+            .local_rate(FlopRate::from_tflops(10.0))
+            .remote_rate(FlopRate::from_tflops(100.0))
+            .bandwidth(Rate::from_gbps(25.0))
+            .alpha(Ratio::new(0.8))
+            .build()
+            .unwrap();
+        let m = CompletionModel::new(p);
+        assert_eq!(m.t_local().as_secs(), 0.0);
+        assert!(m.t_pct().as_secs() > 0.0);
+        assert_eq!(m.gain().value(), 0.0, "local is instantaneous: no gain");
+        assert!(m.reduction().is_finite(), "reduction must not be -inf");
+        assert!(m.reduction() < 0.0, "remote is strictly slower here");
+    }
+
+    #[test]
+    fn zero_adjacent_tie_reads_as_parity() {
+        // Both times zero (C = 0 with an unvalidated infinite-bandwidth
+        // mutation) must read as a tie, not NaN.
+        let mut p = params(1.0, 1.0);
+        p.intensity = ComputeIntensity::ZERO;
+        p.data_unit = Bytes::from_b(f64::MIN_POSITIVE);
+        p.bandwidth = Rate::from_bytes_per_sec(f64::MAX);
+        let m = CompletionModel::new(p);
+        assert_eq!(m.t_local().as_secs(), 0.0);
+        assert_eq!(m.t_pct().as_secs(), 0.0);
+        assert_eq!(m.gain().value(), 1.0);
+        assert_eq!(m.reduction(), 0.0);
+        assert!(!m.gain().value().is_nan());
+    }
+
+    #[test]
+    fn zero_t_pct_saturates_gain() {
+        // Fields are public, so a zero-T_pct point is constructible by
+        // mutation; the guard saturates instead of returning inf.
+        let mut p = params(1.0, 1.0);
+        p.remote_rate = FlopRate::from_flops(f64::INFINITY);
+        p.bandwidth = Rate::from_bytes_per_sec(f64::INFINITY);
+        let m = CompletionModel::new(p);
+        assert_eq!(m.t_pct().as_secs(), 0.0);
+        assert!(m.t_local().as_secs() > 0.0);
+        assert_eq!(m.gain().value(), f64::MAX);
+        assert!(m.gain().is_finite() && m.reduction().is_finite());
     }
 
     #[test]

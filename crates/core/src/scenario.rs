@@ -388,8 +388,15 @@ impl Scenario {
             [one] => Ok(one.build().expect("bundled scenario spec valid")),
             [] => {
                 let ids: Vec<&str> = registry.iter().map(|s| s.id.as_str()).collect();
+                let candidates = ids
+                    .iter()
+                    .copied()
+                    .chain(ALIASES.iter().map(|(alias, _)| *alias));
+                let hint = nearest_within(&lowered, candidates, 2)
+                    .map(|n| format!(" — did you mean {n:?}?"))
+                    .unwrap_or_default();
                 Err(format!(
-                    "unknown scenario {query:?}; known ids: {}",
+                    "unknown scenario {query:?}{hint}; known ids: {}",
                     ids.join(", ")
                 ))
             }
@@ -419,6 +426,41 @@ impl Scenario {
             theta: self.params.theta.value(),
         }
     }
+}
+
+/// Levenshtein distance over bytes — the ids and aliases are ASCII, and a
+/// typo'd query is at worst compared byte-wise, which only ever
+/// overestimates the distance (safe for a "did you mean" hint).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let substitute = prev[j] + usize::from(ca != cb);
+            curr[j + 1] = substitute.min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// The candidate closest to `query` by edit distance, if any lies within
+/// `max_distance`; ties keep the earliest candidate (registry order).
+fn nearest_within<'a>(
+    query: &str,
+    candidates: impl Iterator<Item = &'a str>,
+    max_distance: usize,
+) -> Option<&'a str> {
+    let mut best: Option<(usize, &str)> = None;
+    for c in candidates {
+        let d = edit_distance(query, c);
+        if d <= max_distance && best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, c));
+        }
+    }
+    best.map(|(_, c)| c)
 }
 
 #[cfg(test)]
@@ -520,6 +562,37 @@ mod tests {
         assert!(err.contains("known ids"), "{err}");
         let ambiguous = Scenario::resolve("scattering").unwrap_err();
         assert!(ambiguous.contains("ambiguous"), "{ambiguous}");
+    }
+
+    #[test]
+    fn resolve_suggests_the_nearest_known_name_for_typos() {
+        // One edit away from the "lcls" alias (ties keep the earliest).
+        let err = Scenario::resolve("lcls3").unwrap_err();
+        assert!(err.contains("did you mean \"lcls\"?"), "{err}");
+        // Two edits away from the "deleria-frib" id.
+        let err = Scenario::resolve("deleria-frab").unwrap_err();
+        assert!(err.contains("did you mean \"deleria-frib\"?"), "{err}");
+        // Far from everything: no suggestion, but the catalog still lists.
+        let err = Scenario::resolve("atlantis").unwrap_err();
+        assert!(!err.contains("did you mean"), "{err}");
+        assert!(err.contains("known ids"), "{err}");
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("lcls3", "lcls2"), 1);
+        assert_eq!(
+            nearest_within("lcls3", ["aps", "lcls2", "lcls"].into_iter(), 2),
+            Some("lcls2")
+        );
+        assert_eq!(
+            nearest_within("zzzzz", ["aps", "lcls2"].into_iter(), 2),
+            None
+        );
     }
 
     #[test]

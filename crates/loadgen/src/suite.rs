@@ -19,7 +19,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use sss_core::{decide, DecisionReport, Scenario};
+use sss_core::{decide, decide_batch, DecisionReport, EvalEngine, ModelParams, Scenario};
 use sss_exec::{SeedSequence, ThreadPool};
 use sss_iosim::{presets, theta_estimate, FileBasedPipeline, FrameSource, StreamingPipeline};
 use sss_netsim::{LinkConfig, Qdisc, SimConfig, TcpConfig};
@@ -242,11 +242,10 @@ impl ScenarioSuite {
         }
     }
 
-    /// Model + I/O-pipeline analysis of one scenario (deterministic,
-    /// analytic — no RNG involved).
-    fn analyze(scenario: &Scenario, config: &SuiteConfig) -> (DecisionReport, IoSummary) {
-        let decision = decide(&scenario.params);
-
+    /// I/O-pipeline analysis of one scenario (deterministic, analytic —
+    /// no RNG involved). The decision-model side is evaluated separately,
+    /// as one batch over the whole suite.
+    fn analyze_io(scenario: &Scenario, config: &SuiteConfig) -> IoSummary {
         // The scenario's data unit as a frame stream at its production
         // cadence: `frames` frames per second, sized to S_unit.
         let frames = config.frames;
@@ -263,30 +262,70 @@ impl ScenarioSuite {
         let files = FileBasedPipeline::new(source, config.files, path).run();
 
         let wire = source.total_bytes() / scenario.params.effective_rate();
-        let io = IoSummary {
+        IoSummary {
             streaming_completion_s: streaming.completion.as_secs(),
             file_completion_s: files.completion.as_secs(),
             streaming_reduction: 1.0 - streaming.completion.as_secs() / files.completion.as_secs(),
             theta_estimate: theta_estimate(files.post_acquisition_lag, wire).map(|t| t.value()),
-        };
-        (decision, io)
+        }
+    }
+
+    /// The decision model over every scenario: one struct-of-arrays batch
+    /// (split into `chunk`-sized views fanned across the pool when one is
+    /// given), or the point-wise scalar oracle. Both produce byte-identical
+    /// reports; the determinism CI job compares them at the process level.
+    fn decisions(
+        &self,
+        pool: Option<&ThreadPool>,
+        engine: EvalEngine,
+        chunk: usize,
+    ) -> Vec<DecisionReport> {
+        let params: Vec<ModelParams> = self.scenarios.iter().map(|s| s.params).collect();
+        match (engine, pool) {
+            (EvalEngine::Scalar, Some(p)) => p.map(&params, decide),
+            (EvalEngine::Scalar, None) => params.iter().map(decide).collect(),
+            (EvalEngine::Batched, Some(p)) => {
+                let chunks: Vec<&[ModelParams]> = params.chunks(chunk).collect();
+                p.map(&chunks, |c| decide_batch(c)).concat()
+            }
+            (EvalEngine::Batched, None) => decide_batch(&params),
+        }
     }
 
     /// Evaluate the whole suite on `pool`, fanning the netsim probes of
-    /// every (scenario × congestion level) cell and the per-scenario
-    /// model/I/O analyses across the pool's workers.
+    /// every (scenario × congestion level) cell and the per-scenario I/O
+    /// analyses across the pool's workers; the decision model runs through
+    /// the batched engine.
     pub fn run(&self, pool: &ThreadPool) -> Vec<ScenarioEvaluation> {
-        self.run_inner(Some(pool))
+        self.run_with(Some(pool), EvalEngine::Batched, Self::DEFAULT_CHUNK)
     }
 
     /// Evaluate the suite on the calling thread. Produces bit-identical
     /// results to [`ScenarioSuite::run`]: seeds are position-derived, so
     /// scheduling cannot perturb them.
     pub fn run_sequential(&self) -> Vec<ScenarioEvaluation> {
-        self.run_inner(None)
+        self.run_with(None, EvalEngine::Batched, Self::DEFAULT_CHUNK)
     }
 
-    fn run_inner(&self, pool: Option<&ThreadPool>) -> Vec<ScenarioEvaluation> {
+    /// Scenarios per batched-decision chunk when the caller doesn't tune
+    /// it — one pool task per four rows keeps the (cheap) decision wave
+    /// from serializing behind a single worker on large catalogs.
+    pub const DEFAULT_CHUNK: usize = 4;
+
+    /// [`ScenarioSuite::run`] with every knob explicit: an optional pool
+    /// (`None` = calling thread), the evaluation engine, and the batched
+    /// engine's chunk size (`--chunk` on the CLI). All combinations return
+    /// the same bytes.
+    ///
+    /// # Panics
+    /// Panics when `chunk == 0`.
+    pub fn run_with(
+        &self,
+        pool: Option<&ThreadPool>,
+        engine: EvalEngine,
+        chunk: usize,
+    ) -> Vec<ScenarioEvaluation> {
+        assert!(chunk > 0, "chunk size must be positive");
         let specs: Vec<SweepSpec> = (0..self.scenarios.len())
             .map(|i| self.sweep_spec(i))
             .collect();
@@ -297,23 +336,25 @@ impl ScenarioSuite {
             Some(p) => p.map(&experiments, Experiment::run),
             None => experiments.iter().map(Experiment::run).collect(),
         };
-        let analyses = match pool {
-            Some(p) => p.map(&self.scenarios, |s| Self::analyze(s, &self.config)),
+        let decisions = self.decisions(pool, engine, chunk);
+        let ios = match pool {
+            Some(p) => p.map(&self.scenarios, |s| Self::analyze_io(s, &self.config)),
             None => self
                 .scenarios
                 .iter()
-                .map(|s| Self::analyze(s, &self.config))
+                .map(|s| Self::analyze_io(s, &self.config))
                 .collect(),
         };
 
         let mut evaluations = Vec::with_capacity(self.scenarios.len());
         let mut offset = 0;
-        for (((scenario, spec), batch), (decision, io)) in self
+        for ((((scenario, spec), batch), decision), io) in self
             .scenarios
             .iter()
             .zip(&specs)
             .zip(&per_spec)
-            .zip(analyses)
+            .zip(decisions)
+            .zip(ios)
         {
             let n = batch.len();
             let points = aggregate(spec, &results[offset..offset + n]);
@@ -452,6 +493,25 @@ mod tests {
         let par = suite.run(&ThreadPool::new(4));
         let seq = suite.run_sequential();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn scalar_and_batched_engines_agree_for_any_chunk() {
+        let suite = ScenarioSuite::new(two_scenarios(), tiny_config());
+        let pool = ThreadPool::new(4);
+        let scalar = suite.run_with(Some(&pool), EvalEngine::Scalar, 1);
+        for chunk in [1usize, 2, 64] {
+            let batched = suite.run_with(Some(&pool), EvalEngine::Batched, chunk);
+            assert_eq!(batched, scalar, "chunk {chunk}");
+        }
+        assert_eq!(suite.run_with(None, EvalEngine::Scalar, 1), scalar);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_rejected() {
+        let suite = ScenarioSuite::new(two_scenarios(), tiny_config());
+        let _ = suite.run_with(None, EvalEngine::Batched, 0);
     }
 
     #[test]

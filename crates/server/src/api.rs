@@ -92,7 +92,15 @@ impl DecideResponse {
     /// Evaluate one workload. Pure: identical parameters always produce an
     /// identical response, which is what makes the decision cache sound.
     pub fn evaluate(params: &ModelParams) -> Self {
-        let report = decide(params);
+        Self::from_report(params, decide(params))
+    }
+
+    /// Wrap an already-evaluated report — the batched dispatcher computes
+    /// a whole wave's reports in one `sss_core::decide_batch` pass, then
+    /// finishes each response (break-even boundaries, sensitivities,
+    /// serialization) per workload. Byte-identical to
+    /// [`DecideResponse::evaluate`] for the same parameters.
+    pub fn from_report(params: &ModelParams, report: DecisionReport) -> Self {
         let feasible = report.decision != Decision::Infeasible;
         DecideResponse {
             report,

@@ -4,10 +4,13 @@
 //! the parsed parameters to the [`Batcher`] and block on a reply channel.
 //! A single dispatcher thread drains whatever has accumulated in the
 //! submission queue — up to `max_batch` requests — checks the decision
-//! cache for each, and evaluates all the misses in **one**
-//! [`sss_exec::ThreadPool`] task wave. Under load this amortizes thread
-//! fan-out across many requests (the pool spawns once per batch, not once
-//! per request) while an idle service still answers a lone request
+//! cache for each, flushes **all** the misses through one
+//! `sss_core::decide_batch` struct-of-arrays kernel sweep, and then
+//! finishes the responses (break-even boundaries, sensitivities,
+//! serialization) in **one** [`sss_exec::ThreadPool`] task wave. Under
+//! load this amortizes both the model arithmetic and the thread fan-out
+//! across many requests (one kernel sweep and one pool spawn per batch,
+//! not per request) while an idle service still answers a lone request
 //! immediately: the dispatcher never waits for a batch to fill.
 //!
 //! Replies are the serialized response bodies (`Arc<str>`) produced by
@@ -20,7 +23,7 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel;
 use serde::{Deserialize, Serialize};
-use sss_core::ModelParams;
+use sss_core::{decide_batch, DecisionReport, ModelParams};
 use sss_exec::ThreadPool;
 
 use crate::api::DecideResponse;
@@ -53,11 +56,17 @@ pub struct Batcher {
     max_observed: Arc<AtomicU64>,
 }
 
-/// Serialize one evaluated workload to its canonical response body.
-fn evaluate_body(params: &ModelParams) -> Arc<str> {
-    let response = DecideResponse::evaluate(params);
-    let json = serde_json::to_string(&response).expect("DecideResponse serializes");
+/// Serialize one evaluated response to its canonical body bytes.
+fn serialize_body(response: &DecideResponse) -> Arc<str> {
+    let json = serde_json::to_string(response).expect("DecideResponse serializes");
     Arc::from(json)
+}
+
+/// Evaluate and serialize one workload — the scalar reference the batched
+/// wave is asserted against in tests.
+#[cfg(test)]
+fn evaluate_body(params: &ModelParams) -> Arc<str> {
+    serialize_body(&DecideResponse::evaluate(params))
 }
 
 impl Batcher {
@@ -93,12 +102,23 @@ impl Batcher {
                 let miss_indices: Vec<usize> =
                     (0..jobs.len()).filter(|&i| bodies[i].is_none()).collect();
 
-                // Evaluate every miss in one pool wave. Duplicate keys
-                // within a wave evaluate redundantly (same pure result) —
-                // harmless, and not worth an intra-batch dedup pass.
+                // Flush the whole wave of misses through one batched
+                // decide pass (a single struct-of-arrays kernel sweep on
+                // the dispatcher thread), then finish each response —
+                // break-even, sensitivities, serialization — across the
+                // pool. Duplicate keys within a wave evaluate redundantly
+                // (same pure result) — harmless, and not worth an
+                // intra-batch dedup pass.
                 let miss_params: Vec<ModelParams> =
                     miss_indices.iter().map(|&i| jobs[i].params).collect();
-                let fresh = pool.map(&miss_params, evaluate_body);
+                let reports: Vec<(ModelParams, DecisionReport)> = miss_params
+                    .iter()
+                    .copied()
+                    .zip(decide_batch(&miss_params))
+                    .collect();
+                let fresh = pool.map(&reports, |(params, report)| {
+                    serialize_body(&DecideResponse::from_report(params, report.clone()))
+                });
                 for (&i, body) in miss_indices.iter().zip(fresh) {
                     cache.insert(jobs[i].key, body.clone());
                     bodies[i] = Some(body);

@@ -21,6 +21,7 @@ use std::process::ExitCode;
 use stream_score::core::frontier::{AlphaJitter, Axis, FrontierMap, FrontierSpec};
 use stream_score::core::planner::plan_for_tier;
 use stream_score::core::sensitivity::Sensitivity;
+use stream_score::core::EvalEngine;
 use stream_score::loadgen::{
     boundary_csv, frontier_csv, frontier_table, loadtest_table, run_http_load, FrontierJob,
     HttpLoadSpec,
@@ -38,14 +39,17 @@ fn usage() -> &'static str {
        stream-score tiers     (same flags as decide) --sss <RATIO>\n\
        stream-score plan      (same flags as decide) --tier <1|2|3>\n\
                               [--curve results/fig2a_curve.json]\n\
-       stream-score scenarios [--depth quick|full] [--mode parallel|sequential]\n\
-                              [--workers <N>] [--levels 1,4,8] [--seconds <N>]\n\
+       stream-score scenarios [--scenario <ID>] [--depth quick|full]\n\
+                              [--mode parallel|sequential] [--workers <N>]\n\
+                              [--engine batched|scalar] [--chunk <N>]\n\
+                              [--levels 1,4,8] [--seconds <N>]\n\
                               [--seed <N>] [--format text|md]\n\
        stream-score frontier  --scenario <ID> | (same flags as decide)\n\
                               --x <AXIS:LO:HI[:log]> --y <AXIS:LO:HI[:log]>\n\
                               [--z <AXIS:LO:HI[:log]> --slices <N>]\n\
                               [--resolution <N>] [--tolerance <T>]\n\
                               [--mode parallel|sequential] [--workers <N>]\n\
+                              [--chunk <N>]\n\
                               [--jitter-sd <SD> --jitter-samples <N>] [--seed <N>]\n\
                               [--format text|md|csv]\n\
        stream-score probe     [--seconds <N>] [--concurrency <N>]\n\
@@ -284,21 +288,42 @@ fn cmd_scenarios(flags: &HashMap<String, String>) -> Result<(), String> {
         Some("text") | None => false,
         Some(other) => return Err(format!("unknown format {other:?} (use text or md)")),
     };
+    let engine: EvalEngine = match flags.get("engine") {
+        Some(raw) => raw.parse()?,
+        None => EvalEngine::Batched,
+    };
+    let chunk = parse_chunk(flags)?;
+    if engine == EvalEngine::Scalar && chunk.is_some() {
+        return Err("--chunk tunes the batched engine and conflicts with --engine scalar".into());
+    }
 
-    let suite = ScenarioSuite::bundled(config);
+    let suite = match flags.get("scenario") {
+        Some(query) => {
+            let scenario = Scenario::resolve(query)?;
+            ScenarioSuite::new(vec![scenario], config)
+        }
+        None => ScenarioSuite::bundled(config),
+    };
+    let chunk_or_default = chunk.unwrap_or(ScenarioSuite::DEFAULT_CHUNK);
     let evaluations = match flags.get("mode").map(String::as_str) {
         Some("sequential") => {
             if flags.contains_key("workers") {
                 return Err("--workers conflicts with --mode sequential".into());
             }
-            suite.run_sequential()
+            if chunk.is_some() {
+                return Err(
+                    "--chunk tunes the parallel batch fan-out and conflicts with --mode sequential"
+                        .into(),
+                );
+            }
+            suite.run_with(None, engine, chunk_or_default)
         }
         Some("parallel") | None => {
             let pool = match parse_workers(flags)? {
                 Some(n) => ThreadPool::new(n),
                 None => ThreadPool::with_available_parallelism(),
             };
-            suite.run(&pool)
+            suite.run_with(Some(&pool), engine, chunk_or_default)
         }
         Some(other) => {
             return Err(format!(
@@ -393,10 +418,17 @@ fn cmd_frontier(flags: &HashMap<String, String>) -> Result<(), String> {
     }
 
     let job = FrontierJob::new(base, spec)?;
+    let chunk = parse_chunk(flags)?;
     let map = match flags.get("mode").map(String::as_str) {
         Some("sequential") => {
             if flags.contains_key("workers") {
                 return Err("--workers conflicts with --mode sequential".into());
+            }
+            if chunk.is_some() {
+                return Err(
+                    "--chunk tunes the parallel edge bundles and conflicts with --mode sequential"
+                        .into(),
+                );
             }
             job.run_sequential()
         }
@@ -405,7 +437,7 @@ fn cmd_frontier(flags: &HashMap<String, String>) -> Result<(), String> {
                 Some(n) => ThreadPool::new(n),
                 None => ThreadPool::with_available_parallelism(),
             };
-            job.run(&pool)
+            job.run_chunked(&pool, chunk.unwrap_or(FrontierJob::DEFAULT_EDGE_CHUNK))
         }
         Some(other) => {
             return Err(format!(
@@ -527,6 +559,25 @@ fn parse_workers(flags: &HashMap<String, String>) -> Result<Option<usize>, Strin
             let n: usize = raw.parse().map_err(|_| format!("bad --workers {raw:?}"))?;
             if n == 0 {
                 return Err("--workers must be >= 1 (a pool with zero workers cannot run)".into());
+            }
+            Ok(Some(n))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Parse the optional `--chunk` flag — operating points (scenarios) or
+/// boundary edges per batched pool task — rejecting 0 up front. Any
+/// positive chunk produces byte-identical output; the flag only tunes how
+/// work is bundled onto workers. Shared by `scenarios` and `frontier`.
+fn parse_chunk(flags: &HashMap<String, String>) -> Result<Option<usize>, String> {
+    match flags.get("chunk") {
+        Some(raw) => {
+            let n: usize = raw.parse().map_err(|_| format!("bad --chunk {raw:?}"))?;
+            if n == 0 {
+                return Err(
+                    "--chunk must be >= 1 (a zero-item batch chunk cannot make progress)".into(),
+                );
             }
             Ok(Some(n))
         }

@@ -139,6 +139,103 @@ fn scenarios_rejects_bad_depth() {
     assert!(stderr.contains("unknown depth"), "{stderr}");
 }
 
+#[test]
+fn scenarios_engines_agree_byte_for_byte() {
+    let mut scalar: Vec<&str> = SCENARIOS_QUICK.to_vec();
+    scalar.extend_from_slice(&["--engine", "scalar"]);
+    let mut batched: Vec<&str> = SCENARIOS_QUICK.to_vec();
+    batched.extend_from_slice(&["--engine", "batched", "--chunk", "3"]);
+    let (ok_a, stdout_a, _) = run(&scalar);
+    let (ok_b, stdout_b, _) = run(&batched);
+    assert!(ok_a && ok_b);
+    assert_eq!(
+        stdout_a, stdout_b,
+        "scalar and batched engines must emit identical bytes"
+    );
+
+    let (ok, _, stderr) = run(&["scenarios", "--engine", "vectorized"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown engine"), "{stderr}");
+
+    // --chunk only tunes the batched engine; pairing it with the scalar
+    // oracle is rejected rather than silently ignored.
+    let (ok, _, stderr) = run(&["scenarios", "--engine", "scalar", "--chunk", "4"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("conflicts with --engine scalar"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn scenarios_filters_to_one_facility() {
+    let mut args: Vec<&str> = SCENARIOS_QUICK.to_vec();
+    args.extend_from_slice(&["--scenario", "frib"]);
+    let (ok, stdout, stderr) = run(&args);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("deleria-frib"), "{stdout}");
+    assert!(!stdout.contains("lcls-coherent-scattering"), "{stdout}");
+}
+
+#[test]
+fn scenario_typos_get_a_suggestion() {
+    let mut args: Vec<&str> = SCENARIOS_QUICK.to_vec();
+    args.extend_from_slice(&["--scenario", "deleria-frab"]);
+    let (ok, _, stderr) = run(&args);
+    assert!(!ok);
+    assert!(
+        stderr.contains("did you mean \"deleria-frib\"?"),
+        "{stderr}"
+    );
+
+    let (ok, _, stderr) = run(&[
+        "frontier",
+        "--scenario",
+        "lcls3",
+        "--x",
+        "wan_gbps:1:400",
+        "--y",
+        "data_gb:1:10",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("did you mean \"lcls\"?"), "{stderr}");
+}
+
+#[test]
+fn scenarios_chunk_conflicts_with_sequential_mode() {
+    let mut args: Vec<&str> = SCENARIOS_QUICK.to_vec();
+    args.extend_from_slice(&["--mode", "sequential", "--chunk", "4"]);
+    let (ok, _, stderr) = run(&args);
+    assert!(!ok);
+    assert!(
+        stderr.contains("conflicts with --mode sequential"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn chunk_zero_rejected() {
+    let mut scen: Vec<&str> = SCENARIOS_QUICK.to_vec();
+    scen.extend_from_slice(&["--chunk", "0"]);
+    let (ok, _, stderr) = run(&scen);
+    assert!(!ok);
+    assert!(stderr.contains("--chunk must be >= 1"), "{stderr}");
+
+    let (ok, _, stderr) = run(&[
+        "frontier",
+        "--scenario",
+        "lcls2",
+        "--x",
+        "wan_gbps:1:400",
+        "--y",
+        "data_gb:1:10",
+        "--chunk",
+        "0",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--chunk must be >= 1"), "{stderr}");
+}
+
 const FRONTIER_QUICK: &[&str] = &[
     "frontier",
     "--scenario",
@@ -171,6 +268,28 @@ fn frontier_parallel_and_sequential_agree() {
     let (ok_b, stdout_b, _) = run(&par);
     assert!(ok_a && ok_b);
     assert_eq!(stdout_a, stdout_b, "frontier output must be bit-identical");
+}
+
+#[test]
+fn frontier_chunk_does_not_change_bytes() {
+    let (ok, reference, _) = run(FRONTIER_QUICK);
+    assert!(ok);
+    for chunk in ["1", "64"] {
+        let mut args: Vec<&str> = FRONTIER_QUICK.to_vec();
+        args.extend_from_slice(&["--chunk", chunk, "--workers", "4"]);
+        let (ok, stdout, stderr) = run(&args);
+        assert!(ok, "{stderr}");
+        assert_eq!(stdout, reference, "--chunk {chunk} changed the bytes");
+    }
+    // --chunk tunes the parallel fan-out only.
+    let mut args: Vec<&str> = FRONTIER_QUICK.to_vec();
+    args.extend_from_slice(&["--mode", "sequential", "--chunk", "4"]);
+    let (ok, _, stderr) = run(&args);
+    assert!(!ok);
+    assert!(
+        stderr.contains("conflicts with --mode sequential"),
+        "{stderr}"
+    );
 }
 
 #[test]

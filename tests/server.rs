@@ -217,8 +217,18 @@ fn http_load_driver_round_trips() {
     assert!(report.latency.max >= report.latency.p50);
 
     let h = health(handle.addr());
-    assert_eq!(h.cache.misses, 5, "one miss per distinct workload");
-    assert_eq!(h.cache.hits, 55);
+    // At least one miss per distinct workload. Concurrent clients can race
+    // the same key into a single dispatcher wave before its first insert —
+    // the batcher documents that duplicates within a wave evaluate (and
+    // count) redundantly — so each of the 5 keys may miss up to once per
+    // client, never more.
+    assert!(
+        (5..=15).contains(&h.cache.misses),
+        "expected ~one miss per distinct workload, got {}",
+        h.cache.misses
+    );
+    assert_eq!(h.cache.hits + h.cache.misses, 60);
+    assert!(h.cache.hits >= 45, "repeats must overwhelmingly hit");
     handle.shutdown();
 }
 
