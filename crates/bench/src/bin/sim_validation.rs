@@ -1,0 +1,68 @@
+//! E-X6 — the model-error ground truth: every registered scenario
+//! replayed through the event-driven simulator under all four WAN trace
+//! shapes, compared against the closed-form model, and persisted as
+//! `results/sim_validation.{csv,json,md}`.
+//!
+//! Honors `SSS_SEED` and `SSS_QUICK` like the other regenerators.
+
+use sss_bench::{quick, results_dir, seed};
+use sss_exec::ThreadPool;
+use sss_loadgen::{
+    replay_csv, replay_summary_table, replay_table, ReplayConfig, SessionReplay, STEADY_TOLERANCE,
+};
+use sss_report::write_json;
+use sss_sim::TraceShape;
+
+fn main() {
+    let config = if quick() {
+        ReplayConfig::quick(seed())
+    } else {
+        ReplayConfig::standard(seed())
+    };
+    let replay = SessionReplay::bundled(config);
+    let pool = ThreadPool::with_available_parallelism();
+    eprintln!(
+        "replaying {} scenarios x {} trace shapes on {} workers...",
+        replay.scenarios().len(),
+        replay.config().shapes.len(),
+        pool.workers()
+    );
+    let report = replay.run(&pool);
+
+    println!("{}", replay_table(&report).to_text());
+    println!("{}", replay_summary_table(&report).to_text());
+
+    let steady = report
+        .shape_summary(TraceShape::Steady)
+        .expect("steady shape replayed");
+    assert!(
+        steady.max_rel_err <= STEADY_TOLERANCE,
+        "steady-trace replay drifted {} from the closed form (tolerance {STEADY_TOLERANCE})",
+        steady.max_rel_err
+    );
+
+    let dir = results_dir();
+    let md = dir.join("sim_validation.md");
+    std::fs::write(
+        &md,
+        format!(
+            "{}{}",
+            replay_table(&report).to_markdown(),
+            replay_summary_table(&report).to_markdown()
+        ),
+    )
+    .expect("write sim_validation.md");
+    let csv = dir.join("sim_validation.csv");
+    replay_csv(&report)
+        .write_to(&csv)
+        .expect("write sim_validation.csv");
+    let json = dir.join("sim_validation.json");
+    write_json(&json, &report).expect("write sim_validation.json");
+    eprintln!(
+        "wrote {}, {} and {} (overall decision agreement {:.1}%)",
+        md.display(),
+        csv.display(),
+        json.display(),
+        report.overall_agreement() * 100.0
+    );
+}

@@ -1,9 +1,9 @@
 //! Run every regenerator in sequence, leaving all artifacts in
 //! `results/`. Equivalent to invoking fig2a, fig2b, fig3, fig4, tables,
 //! case_study, regimes, ablation_continuum, headline, scenario_suite,
-//! frontier_map and batch_scaling one by one, but reuses the expensive
-//! Figure 2 sweeps across the binaries that need them by caching the
-//! curve JSON.
+//! frontier_map, batch_scaling and sim_validation one by one, but reuses
+//! the expensive Figure 2 sweeps across the binaries that need them by
+//! caching the curve JSON.
 
 use std::process::Command;
 
@@ -22,6 +22,7 @@ fn main() {
         "scenario_suite",
         "frontier_map",
         "batch_scaling",
+        "sim_validation",
     ];
     let exe = std::env::current_exe().expect("own path");
     let bin_dir = exe.parent().expect("bin dir");

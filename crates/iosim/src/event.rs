@@ -1,0 +1,482 @@
+//! The movement pipelines of Figure 4, re-expressed as **event-driven
+//! processes** on the shared `sss-sim` kernel.
+//!
+//! The analytic pipelines in [`crate::pipeline`] compute busy-until
+//! recurrences in program order; that is exact for a constant-rate WAN
+//! but cannot express a link whose bandwidth changes while a transfer is
+//! in flight. The event-driven versions here run the same stages as
+//! processes scheduling one another through an
+//! [`EventQueue`](sss_sim::EventQueue) on the exact-`f64`
+//! [`Seconds`](sss_sim::Seconds) clock, with every WAN byte integrated
+//! over a [`BandwidthTrace`] — so diurnal cycles, bursty congestion and
+//! scheduled outages land mid-transfer exactly where they would on the
+//! real systems.
+//!
+//! **Parity contract:** under `BandwidthTrace::steady(wan.bandwidth)` the
+//! event-driven pipelines perform the same `f64` operations as the
+//! busy-until recurrences (modulo addition associativity) and agree with
+//! them within `1e-9` relative error; the property tests at the bottom
+//! of this module and the catalog-wide suite in `sss-loadgen` hold them
+//! to it.
+
+use std::collections::VecDeque;
+
+use sss_sim::{BandwidthTrace, EventQueue, Seconds};
+use sss_units::TimeDelta;
+
+use crate::pipeline::MovementResult;
+use crate::profile::{PathProfile, WanProfile};
+use crate::workload::FrameSource;
+
+/// Streaming movement over a time-varying WAN: frames are pushed to the
+/// remote consumer's memory over one long-lived connection whose
+/// achievable rate follows `trace`.
+///
+/// The event-driven counterpart of
+/// [`StreamingPipeline`](crate::StreamingPipeline): with a steady trace
+/// at `wan.bandwidth` the two agree within 1e-9 relative error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventStreamingPipeline {
+    /// The detector workload.
+    pub source: FrameSource,
+    /// Network profile (RTT and per-message overhead; the trace replaces
+    /// the profile's constant bandwidth for wire time).
+    pub wan: WanProfile,
+    /// Achievable WAN bandwidth over time.
+    pub trace: BandwidthTrace,
+}
+
+/// Streaming-process events.
+enum StreamEv {
+    /// Frame `i` finished acquisition and entered the send queue.
+    Produced(u32),
+    /// The link finished serializing frame `i`.
+    SendDone(u32),
+}
+
+impl EventStreamingPipeline {
+    /// Build a traced streaming pipeline.
+    ///
+    /// # Panics
+    /// Panics on an invalid WAN profile.
+    pub fn new(source: FrameSource, wan: WanProfile, trace: BandwidthTrace) -> Self {
+        wan.validate().expect("invalid WanProfile");
+        EventStreamingPipeline { source, wan, trace }
+    }
+
+    /// Run the process network to completion.
+    pub fn run(&self) -> MovementResult {
+        let src = &self.source;
+        let n = src.n_frames as usize;
+        let frame_bytes = src.frame_bytes.as_b();
+        let overhead = self.wan.per_message_overhead.as_secs();
+        let one_way = self.wan.rtt.as_secs() / 2.0;
+
+        let mut queue: EventQueue<Seconds, StreamEv> = EventQueue::new();
+        for i in 0..src.n_frames {
+            queue.schedule(
+                Seconds::new(src.frame_ready(i).as_secs()),
+                StreamEv::Produced(i),
+            );
+        }
+
+        let mut pending: VecDeque<u32> = VecDeque::new();
+        let mut sending = false;
+        let mut available = vec![0.0f64; n];
+
+        // The link process: picks the next queued frame the moment it is
+        // both idle and a frame exists — i.e. starts at
+        // max(produced, link_free), exactly the busy-until recurrence.
+        let start_next =
+            |queue: &mut EventQueue<Seconds, StreamEv>, pending: &mut VecDeque<u32>, now: f64| {
+                let i = pending.pop_front().expect("caller checked non-empty");
+                let sent = self.trace.finish_time(now, frame_bytes) + overhead;
+                queue.schedule(Seconds::new(sent), StreamEv::SendDone(i));
+            };
+
+        while let Some((t, ev)) = queue.pop() {
+            let now = t.value();
+            match ev {
+                StreamEv::Produced(i) => {
+                    pending.push_back(i);
+                    if !sending {
+                        sending = true;
+                        start_next(&mut queue, &mut pending, now);
+                    }
+                }
+                StreamEv::SendDone(i) => {
+                    available[i as usize] = now + one_way;
+                    if pending.is_empty() {
+                        sending = false;
+                    } else {
+                        start_next(&mut queue, &mut pending, now);
+                    }
+                }
+            }
+        }
+
+        let completion = *available.last().expect("non-empty scan");
+        MovementResult {
+            completion: TimeDelta::from_secs(completion),
+            post_acquisition_lag: TimeDelta::from_secs(
+                (completion - src.acquisition_duration().as_secs()).max(0.0),
+            ),
+            unit_available_s: available,
+            bytes: src.total_bytes(),
+        }
+    }
+}
+
+/// File-based movement over a time-varying WAN: frames are written to the
+/// local PFS grouped into `files` parts, each file becomes DTN-eligible
+/// when closed, and the DTN's transfer slots move files over the traced
+/// WAN into the remote PFS.
+///
+/// The event-driven counterpart of
+/// [`FileBasedPipeline`](crate::FileBasedPipeline), with the same parity
+/// contract as [`EventStreamingPipeline`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventFileBasedPipeline {
+    /// The detector workload.
+    pub source: FrameSource,
+    /// Number of files the scan is aggregated into.
+    pub files: u32,
+    /// Substrate performance profile (the trace replaces the profile's
+    /// constant WAN bandwidth).
+    pub path: PathProfile,
+    /// Achievable WAN bandwidth over time.
+    pub trace: BandwidthTrace,
+}
+
+/// One operation in the local writer's sequential program.
+#[derive(Debug, Clone, Copy)]
+enum WriterOp {
+    /// Create/open the next file in sequence (metadata cost).
+    Open,
+    /// Write frame `i`; closing file `f` if it is the file's last frame.
+    Write { frame: u32, closes: Option<u32> },
+}
+
+/// File-pipeline events.
+enum FileEv {
+    /// Simulation start: kicks the writer so file-creation metadata is
+    /// charged from t=0, before the first frame exists (matching the
+    /// analytic recurrence's up-front `write_free += metadata`).
+    Start,
+    /// Frame `i` finished acquisition.
+    Produced(u32),
+    /// The local writer finished its current operation.
+    WriterDone,
+    /// A DTN slot delivered file `f` (verified, on the remote PFS).
+    TransferDone(u32),
+}
+
+impl EventFileBasedPipeline {
+    /// Build a traced file-based pipeline; `files` must be in
+    /// `1..=n_frames`.
+    ///
+    /// # Panics
+    /// Panics when `files` is out of range or the profile is invalid.
+    pub fn new(source: FrameSource, files: u32, path: PathProfile, trace: BandwidthTrace) -> Self {
+        assert!(
+            files >= 1 && files <= source.n_frames,
+            "files must be in 1..=n_frames, got {files}"
+        );
+        path.validate().expect("invalid PathProfile");
+        EventFileBasedPipeline {
+            source,
+            files,
+            path,
+            trace,
+        }
+    }
+
+    /// Frames per file; the last files take one fewer when uneven (the
+    /// remainder spreads over the first files, as in the analytic
+    /// pipeline).
+    fn frames_in_file(&self, file: u32) -> u32 {
+        let base = self.source.n_frames / self.files;
+        let rem = self.source.n_frames % self.files;
+        base + u32::from(file < rem)
+    }
+
+    /// The writer's sequential program: open each file, write its frames.
+    fn writer_program(&self) -> Vec<WriterOp> {
+        let mut ops = Vec::with_capacity((self.source.n_frames + self.files) as usize);
+        let mut frame = 0u32;
+        for file in 0..self.files {
+            ops.push(WriterOp::Open);
+            let in_file = self.frames_in_file(file);
+            for k in 0..in_file {
+                ops.push(WriterOp::Write {
+                    frame,
+                    closes: (k + 1 == in_file).then_some(file),
+                });
+                frame += 1;
+            }
+        }
+        debug_assert_eq!(frame, self.source.n_frames);
+        ops
+    }
+
+    /// Run the process network to completion.
+    pub fn run(&self) -> MovementResult {
+        let src = &self.source;
+        let p = &self.path;
+        let frame_bytes = src.frame_bytes.as_b();
+        let write_bw = p.local.write_bw.as_bytes_per_sec();
+        let metadata = p.local.metadata_latency.as_secs();
+        // The slowest pipelined per-byte stage bounds a DTN task's rate.
+        let stage_cap = p.local.read_bw.min(p.remote.write_bw).as_bytes_per_sec();
+        let divisor = p.dtn.concurrency as f64;
+        let fixed = p.dtn.startup_per_file.as_secs()
+            + p.remote.metadata_latency.as_secs()
+            + p.wan.rtt.as_secs();
+        let checksum = p.dtn.checksum_rate.as_bytes_per_sec();
+
+        let ops = self.writer_program();
+        let mut queue: EventQueue<Seconds, FileEv> = EventQueue::new();
+        queue.schedule(Seconds::ZERO, FileEv::Start);
+        for i in 0..src.n_frames {
+            queue.schedule(
+                Seconds::new(src.frame_ready(i).as_secs()),
+                FileEv::Produced(i),
+            );
+        }
+
+        let mut produced = vec![false; src.n_frames as usize];
+        let mut op_cursor = 0usize;
+        let mut writer_busy = false;
+        let mut closes_on_done: Option<u32> = None;
+        let mut slot_free = vec![0.0f64; p.dtn.concurrency as usize];
+        let mut available = vec![0.0f64; self.files as usize];
+
+        while let Some((t, ev)) = queue.pop() {
+            let now = t.value();
+            let mut closed: Option<u32> = None;
+            match ev {
+                FileEv::Start => {}
+                FileEv::Produced(i) => {
+                    produced[i as usize] = true;
+                }
+                FileEv::WriterDone => {
+                    writer_busy = false;
+                    closed = closes_on_done.take();
+                }
+                FileEv::TransferDone(f) => {
+                    available[f as usize] = now;
+                }
+            }
+
+            // A closed file grabs the earliest-free DTN slot: it starts
+            // at max(close time, slot free), pays the fixed per-file
+            // costs, moves its bytes at the traced WAN share capped by
+            // the slower PFS stage, then verifies checksums.
+            if let Some(file) = closed {
+                let bytes = frame_bytes * self.frames_in_file(file) as f64;
+                let (slot, _) = slot_free
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("slot time NaN"))
+                    .expect("at least one slot");
+                let start = now.max(slot_free[slot]);
+                let wire_done =
+                    self.trace
+                        .capped_finish_time(start + fixed, bytes, divisor, stage_cap);
+                let done = wire_done + bytes / checksum;
+                slot_free[slot] = done;
+                queue.schedule(Seconds::new(done), FileEv::TransferDone(file));
+            }
+
+            // The writer advances whenever it is idle and its next
+            // operation is unblocked (opens run immediately; writes wait
+            // for their frame).
+            while !writer_busy && op_cursor < ops.len() {
+                match ops[op_cursor] {
+                    WriterOp::Open => {
+                        op_cursor += 1;
+                        writer_busy = true;
+                        queue.schedule(Seconds::new(now + metadata), FileEv::WriterDone);
+                    }
+                    WriterOp::Write { frame, closes } => {
+                        if !produced[frame as usize] {
+                            break; // the Produced event will resume us
+                        }
+                        op_cursor += 1;
+                        writer_busy = true;
+                        closes_on_done = closes;
+                        queue.schedule(
+                            Seconds::new(now + frame_bytes / write_bw),
+                            FileEv::WriterDone,
+                        );
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(op_cursor, ops.len(), "writer program must drain");
+
+        let completion = available.iter().cloned().fold(0.0f64, f64::max);
+        MovementResult {
+            completion: TimeDelta::from_secs(completion),
+            post_acquisition_lag: TimeDelta::from_secs(
+                (completion - src.acquisition_duration().as_secs()).max(0.0),
+            ),
+            unit_available_s: available,
+            bytes: src.total_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{FileBasedPipeline, StreamingPipeline};
+    use crate::profile::presets;
+    use sss_sim::TraceShape;
+    use sss_units::{Bytes, Rate};
+
+    fn scan(period_ms: f64, frames: u32) -> FrameSource {
+        FrameSource::new(
+            frames,
+            Bytes::from_mb(8.0),
+            TimeDelta::from_millis(period_ms),
+        )
+    }
+
+    fn assert_close(a: f64, b: f64, what: &str) {
+        let scale = a.abs().max(b.abs()).max(1e-12);
+        assert!(
+            (a - b).abs() / scale <= 1e-9,
+            "{what}: event {a} vs analytic {b}"
+        );
+    }
+
+    #[test]
+    fn steady_streaming_matches_analytic() {
+        let src = scan(33.0, 96);
+        let wan = presets::aps_alcf_wan();
+        let analytic = StreamingPipeline::new(src, wan).run();
+        let event =
+            EventStreamingPipeline::new(src, wan, BandwidthTrace::steady(wan.bandwidth)).run();
+        assert_close(
+            event.completion.as_secs(),
+            analytic.completion.as_secs(),
+            "completion",
+        );
+        for (i, (e, a)) in event
+            .unit_available_s
+            .iter()
+            .zip(&analytic.unit_available_s)
+            .enumerate()
+        {
+            assert_close(*e, *a, &format!("frame {i}"));
+        }
+    }
+
+    #[test]
+    fn steady_file_based_matches_analytic() {
+        let src = scan(33.0, 96);
+        let path = presets::aps_to_alcf();
+        for files in [1u32, 7, 24, 96] {
+            let analytic = FileBasedPipeline::new(src, files, path).run();
+            let event = EventFileBasedPipeline::new(
+                src,
+                files,
+                path,
+                BandwidthTrace::steady(path.wan.bandwidth),
+            )
+            .run();
+            assert_close(
+                event.completion.as_secs(),
+                analytic.completion.as_secs(),
+                &format!("completion ({files} files)"),
+            );
+            for (i, (e, a)) in event
+                .unit_available_s
+                .iter()
+                .zip(&analytic.unit_available_s)
+                .enumerate()
+            {
+                assert_close(*e, *a, &format!("file {i} of {files}"));
+            }
+        }
+    }
+
+    #[test]
+    fn steady_parity_with_concurrency() {
+        let src = scan(10.0, 64);
+        let mut path = presets::aps_to_alcf();
+        path.dtn.concurrency = 4;
+        let analytic = FileBasedPipeline::new(src, 16, path).run();
+        let event =
+            EventFileBasedPipeline::new(src, 16, path, BandwidthTrace::steady(path.wan.bandwidth))
+                .run();
+        assert_close(
+            event.completion.as_secs(),
+            analytic.completion.as_secs(),
+            "4-way DTN completion",
+        );
+    }
+
+    #[test]
+    fn outage_delays_streaming_by_the_window() {
+        let src = scan(1.0, 32); // 256 MB produced in 32 ms
+        let mut wan = presets::aps_alcf_wan();
+        wan.bandwidth = Rate::from_megabytes_per_sec(256.0); // ~1 s nominal
+        let steady =
+            EventStreamingPipeline::new(src, wan, BandwidthTrace::steady(wan.bandwidth)).run();
+        let traced =
+            EventStreamingPipeline::new(src, wan, TraceShape::Outage.build(wan.bandwidth, 1.0, 0))
+                .run();
+        let delay = traced.completion.as_secs() - steady.completion.as_secs();
+        // The outage spans 0.25..0.60 s: a mid-transfer stall of ~0.35 s.
+        assert!(
+            (delay - 0.35).abs() < 0.05,
+            "outage delay {delay} should be ~0.35 s"
+        );
+    }
+
+    #[test]
+    fn degraded_traces_never_speed_movement_up() {
+        let src = scan(5.0, 48);
+        let wan = presets::aps_alcf_wan();
+        let path = presets::aps_to_alcf();
+        let nominal = (src.total_bytes() / wan.bandwidth).as_secs();
+        let steady_s =
+            EventStreamingPipeline::new(src, wan, BandwidthTrace::steady(wan.bandwidth)).run();
+        let steady_f =
+            EventFileBasedPipeline::new(src, 12, path, BandwidthTrace::steady(wan.bandwidth)).run();
+        for shape in [TraceShape::Diurnal, TraceShape::Bursty, TraceShape::Outage] {
+            let trace = shape.build(wan.bandwidth, nominal.max(0.5), 9);
+            let s = EventStreamingPipeline::new(src, wan, trace.clone()).run();
+            let f = EventFileBasedPipeline::new(src, 12, path, trace).run();
+            assert!(
+                s.completion.as_secs() >= steady_s.completion.as_secs() - 1e-9,
+                "{shape}: streaming sped up"
+            );
+            assert!(
+                f.completion.as_secs() >= steady_f.completion.as_secs() - 1e-9,
+                "{shape}: file path sped up"
+            );
+        }
+    }
+
+    #[test]
+    fn event_pipelines_are_deterministic() {
+        let src = scan(7.0, 40);
+        let wan = presets::aps_alcf_wan();
+        let trace = TraceShape::Bursty.build(wan.bandwidth, 1.5, 1234);
+        let a = EventStreamingPipeline::new(src, wan, trace.clone()).run();
+        let b = EventStreamingPipeline::new(src, wan, trace).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "files must be in")]
+    fn too_many_files_rejected() {
+        let src = scan(1.0, 4);
+        let path = presets::aps_to_alcf();
+        let _ =
+            EventFileBasedPipeline::new(src, 5, path, BandwidthTrace::steady(path.wan.bandwidth));
+    }
+}

@@ -26,17 +26,26 @@ pub struct MovementResult {
 impl MovementResult {
     /// Mean availability lag of units behind their production time
     /// (staleness of the remote copy during acquisition), seconds.
-    pub fn mean_unit_lag_s(&self, produced_s: &[f64]) -> f64 {
-        assert_eq!(produced_s.len(), self.unit_available_s.len());
-        if produced_s.is_empty() {
-            return 0.0;
+    ///
+    /// Returns `None` when `produced_s` does not have one entry per
+    /// movement unit — a malformed trace must surface as a recoverable
+    /// error, never a panic, because this runs inside long-lived server
+    /// processes. An empty (but matching) trace reads as zero lag.
+    pub fn mean_unit_lag_s(&self, produced_s: &[f64]) -> Option<f64> {
+        if produced_s.len() != self.unit_available_s.len() {
+            return None;
         }
-        self.unit_available_s
-            .iter()
-            .zip(produced_s)
-            .map(|(a, p)| a - p)
-            .sum::<f64>()
-            / produced_s.len() as f64
+        if produced_s.is_empty() {
+            return Some(0.0);
+        }
+        Some(
+            self.unit_available_s
+                .iter()
+                .zip(produced_s)
+                .map(|(a, p)| a - p)
+                .sum::<f64>()
+                / produced_s.len() as f64,
+        )
     }
 }
 
@@ -336,8 +345,18 @@ mod tests {
         let src = FrameSource::new(2, Bytes::from_mb(1.0), TimeDelta::from_secs(1.0));
         let r = StreamingPipeline::new(src, presets::aps_alcf_wan()).run();
         let produced: Vec<f64> = (0..2).map(|i| src.frame_ready(i).as_secs()).collect();
-        let lag = r.mean_unit_lag_s(&produced);
+        let lag = r.mean_unit_lag_s(&produced).expect("matching lengths");
         assert!(lag > 0.0 && lag < 0.01, "lag {lag}");
+    }
+
+    #[test]
+    fn mean_unit_lag_rejects_malformed_traces() {
+        let src = FrameSource::new(3, Bytes::from_mb(1.0), TimeDelta::from_secs(1.0));
+        let r = StreamingPipeline::new(src, presets::aps_alcf_wan()).run();
+        // A production trace with the wrong unit count is a caller bug,
+        // reported as None rather than a panic.
+        assert_eq!(r.mean_unit_lag_s(&[0.0, 1.0]), None);
+        assert_eq!(r.mean_unit_lag_s(&[]), None);
     }
 
     #[test]

@@ -48,12 +48,17 @@
 mod experiment;
 mod frontier;
 mod httpload;
+mod replay;
 mod suite;
 mod sweep;
 
 pub use experiment::{ClientRecord, Experiment, ExperimentResult, SpawnStrategy, TransferLog};
 pub use frontier::{boundary_csv, frontier_csv, frontier_table, FrontierJob};
 pub use httpload::{loadtest_table, run_http_load, HttpLoadReport, HttpLoadSpec};
+pub use replay::{
+    replay_csv, replay_summary_table, replay_table, ReplayConfig, ReplayRecord, ReplayReport,
+    SessionReplay, ShapeSummary, STEADY_TOLERANCE,
+};
 pub use suite::{
     suite_csv, summary_table, CongestionPoint, IoSummary, ScenarioEvaluation, ScenarioSuite,
     SuiteConfig,

@@ -1,0 +1,560 @@
+//! Trace-driven session replay: the model-error ground truth.
+//!
+//! The closed-form completion model (Eq. 3–10) treats the network as a
+//! constant effective rate `α·Bw`. [`SessionReplay`] replays every
+//! catalog scenario through the event-driven movement simulator under a
+//! set of WAN [`TraceShape`]s — steady, diurnal, bursty, scheduled
+//! outage — and compares the simulated completion time and the simulated
+//! decision against [`CompletionModel`]/[`decide_batch`], producing
+//! per-scenario **relative error** and **decision agreement** reports.
+//!
+//! ## What one replay cell simulates
+//!
+//! The model's `T_pct = θ·S/(α·Bw) + C·S/R_remote` assumes the data unit
+//! exists at `t = 0`, moves sequentially, then is processed. The replay
+//! mirrors those semantics so that the *only* difference is the network:
+//!
+//! * the unit is split into [`ReplayConfig::frames`] frames produced in
+//!   a near-instant burst (1 ns cadence — the closed form has no
+//!   production timeline);
+//! * frames move through [`EventStreamingPipeline`] over a trace whose
+//!   base rate is `α·Bw/θ` — the scenario's θ inflates every byte's
+//!   movement cost, implemented by deflating the trace — with zero
+//!   framing overhead and zero RTT;
+//! * remote compute (`C·S/R_remote`, a network-free term the closed form
+//!   gets exactly right) is added after the last byte lands.
+//!
+//! Under a **steady** trace the simulated transfer is the same division
+//! the model performs, so the relative error is bounded by the burst
+//! cadence (`frames` ns against a transfer of `≥ milliseconds`): the
+//! documented steady tolerance is [`STEADY_TOLERANCE`] = 1e-6. Under the
+//! degraded shapes the error is the real, quantified gap between the
+//! closed form and a network that changes mid-transfer.
+//!
+//! The simulated **decision** re-runs the model's verdict with simulated
+//! inputs: feasibility against the trace's mean effective rate over the
+//! nominal horizon, and the simulated `T_pct` against the analytic
+//! `T_local` (the local path has no network, so its closed form is
+//! exact). Cells fan out across the [`ThreadPool`] with position-derived
+//! seeds, so parallel and sequential replays are byte-identical.
+
+use serde::{Deserialize, Serialize};
+
+use sss_core::{decide_batch, CompletionModel, Decision, DecisionReport, Scenario};
+use sss_exec::{SeedSequence, ThreadPool};
+use sss_iosim::{presets, EventFileBasedPipeline, EventStreamingPipeline, FrameSource, WanProfile};
+use sss_report::{CsvWriter, Table};
+use sss_sim::TraceShape;
+use sss_units::{Bytes, Rate, TimeDelta};
+
+/// Documented steady-state tolerance: with a constant trace the replay
+/// must agree with the closed-form `T_pct` within this relative error
+/// (see the module docs for the burst-cadence bound behind it).
+pub const STEADY_TOLERANCE: f64 = 1e-6;
+
+/// Cadence of the near-instant production burst (seconds per frame).
+const BURST_PERIOD_S: f64 = 1e-9;
+
+/// How the replay exercises each scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayConfig {
+    /// Frames the data unit is split into for the event pipelines.
+    pub frames: u32,
+    /// File count for the staged (file-based) replay column.
+    pub files: u32,
+    /// The WAN trace shapes each scenario replays under.
+    pub shapes: Vec<TraceShape>,
+    /// Master seed; per-cell seeds derive from it by position.
+    pub seed: u64,
+}
+
+impl ReplayConfig {
+    /// The full validation matrix: 64-frame units, 16-file staging, all
+    /// four bundled shapes.
+    pub fn standard(seed: u64) -> Self {
+        ReplayConfig {
+            frames: 64,
+            files: 16,
+            shapes: TraceShape::ALL.to_vec(),
+            seed,
+        }
+    }
+
+    /// Fast settings for interactive use, tests and `SSS_QUICK` runs.
+    pub fn quick(seed: u64) -> Self {
+        ReplayConfig {
+            frames: 16,
+            files: 4,
+            shapes: TraceShape::ALL.to_vec(),
+            seed,
+        }
+    }
+
+    /// Validate the knobs the pipelines would otherwise panic on.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.frames == 0 || self.files == 0 || self.files > self.frames {
+            return Err("need 1 <= files <= frames".into());
+        }
+        if self.frames > 65_536 {
+            return Err(format!(
+                "frames {} exceeds the replay cap of 65536",
+                self.frames
+            ));
+        }
+        if self.shapes.is_empty() {
+            return Err("need at least one trace shape".into());
+        }
+        Ok(())
+    }
+}
+
+/// One (scenario × trace shape) replay outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayRecord {
+    /// The scenario replayed.
+    pub scenario_id: String,
+    /// The WAN trace shape it replayed under.
+    pub shape: TraceShape,
+    /// Mean effective rate of the traced WAN over the nominal transfer
+    /// horizon, in Gbps (θ-undeflated, comparable to `α·Bw`).
+    pub mean_effective_gbps: f64,
+    /// The closed form's movement time `θ·S/(α·Bw)`, seconds.
+    pub model_transfer_s: f64,
+    /// Simulated movement time over the traced WAN, seconds.
+    pub sim_transfer_s: f64,
+    /// The closed form's `T_pct` (Eq. 10), seconds.
+    pub model_t_pct_s: f64,
+    /// Simulated `T_pct`: traced movement + remote compute, seconds.
+    pub sim_t_pct_s: f64,
+    /// `|sim − model| / model` on `T_pct`.
+    pub t_pct_rel_err: f64,
+    /// Staged (file-based) movement completion over the same trace,
+    /// seconds — the event pipeline the θ coefficient abstracts.
+    pub sim_file_completion_s: f64,
+    /// The verdict the closed-form model reaches.
+    pub model_decision: Decision,
+    /// The verdict re-derived from simulated inputs.
+    pub sim_decision: Decision,
+    /// Whether the two verdicts agree.
+    pub agree: bool,
+}
+
+/// Per-shape aggregate across the replayed scenarios.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShapeSummary {
+    /// The trace shape summarized.
+    pub shape: TraceShape,
+    /// Largest `T_pct` relative error across scenarios.
+    pub max_rel_err: f64,
+    /// Mean `T_pct` relative error across scenarios.
+    pub mean_rel_err: f64,
+    /// Fraction of scenarios whose sim and model decisions agree.
+    pub agreement: f64,
+}
+
+/// Everything one replay run learned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayReport {
+    /// One record per (scenario × shape) cell, scenario-major.
+    pub records: Vec<ReplayRecord>,
+    /// Per-shape aggregates.
+    pub shapes: Vec<ShapeSummary>,
+}
+
+impl ReplayReport {
+    /// The summary for `shape`, if it was replayed.
+    pub fn shape_summary(&self, shape: TraceShape) -> Option<&ShapeSummary> {
+        self.shapes.iter().find(|s| s.shape == shape)
+    }
+
+    /// Overall decision-agreement fraction across every cell.
+    pub fn overall_agreement(&self) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        self.records.iter().filter(|r| r.agree).count() as f64 / self.records.len() as f64
+    }
+}
+
+/// A set of scenarios plus the replay configuration to run them under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReplay {
+    scenarios: Vec<Scenario>,
+    config: ReplayConfig,
+}
+
+impl SessionReplay {
+    /// Replay over an explicit scenario list.
+    ///
+    /// # Panics
+    /// Panics on an invalid [`ReplayConfig`].
+    pub fn new(scenarios: Vec<Scenario>, config: ReplayConfig) -> Self {
+        config.validate().expect("invalid ReplayConfig");
+        SessionReplay { scenarios, config }
+    }
+
+    /// Replay over every scenario in [`Scenario::registry`].
+    pub fn bundled(config: ReplayConfig) -> Self {
+        Self::new(Scenario::all(), config)
+    }
+
+    /// The scenarios this replay evaluates.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// The replay configuration.
+    pub fn config(&self) -> &ReplayConfig {
+        &self.config
+    }
+
+    /// Replay every (scenario × shape) cell on `pool`.
+    pub fn run(&self, pool: &ThreadPool) -> ReplayReport {
+        self.run_with(Some(pool))
+    }
+
+    /// Replay on the calling thread. Bit-identical to [`SessionReplay::run`]:
+    /// seeds are position-derived, so scheduling cannot perturb them.
+    pub fn run_sequential(&self) -> ReplayReport {
+        self.run_with(None)
+    }
+
+    /// [`SessionReplay::run`] with the pool explicit (`None` = calling
+    /// thread). All paths return the same bytes.
+    pub fn run_with(&self, pool: Option<&ThreadPool>) -> ReplayReport {
+        // The model side of every comparison comes from one batched
+        // evaluation pass over the catalog.
+        let params: Vec<_> = self.scenarios.iter().map(|s| s.params).collect();
+        let decisions = decide_batch(&params);
+
+        // Scenario-major cell order, each cell's seed derived from its
+        // position — what makes parallel and sequential replays agree.
+        let seeds = SeedSequence::new(self.config.seed);
+        let shapes_n = self.config.shapes.len();
+        let cells: Vec<(usize, usize, u64)> = (0..self.scenarios.len() * shapes_n)
+            .map(|idx| (idx / shapes_n, idx % shapes_n, seeds.seed(idx as u64)))
+            .collect();
+
+        let eval = |&(si, hi, seed): &(usize, usize, u64)| {
+            self.evaluate_cell(
+                &self.scenarios[si],
+                &decisions[si],
+                self.config.shapes[hi],
+                seed,
+            )
+        };
+        let records = match pool {
+            Some(p) => p.map(&cells, eval),
+            None => cells.iter().map(eval).collect(),
+        };
+
+        let shapes = self
+            .config
+            .shapes
+            .iter()
+            .map(|&shape| summarize_shape(&records, shape))
+            .collect();
+        ReplayReport { records, shapes }
+    }
+
+    /// Replay one scenario under one trace shape.
+    fn evaluate_cell(
+        &self,
+        scenario: &Scenario,
+        model: &DecisionReport,
+        shape: TraceShape,
+        seed: u64,
+    ) -> ReplayRecord {
+        let p = &scenario.params;
+        let model_eval = CompletionModel::new(*p);
+        let s_bytes = p.data_unit.as_b();
+        let theta = p.theta.value();
+        let effective = p.effective_rate().as_bytes_per_sec();
+
+        // The nominal (steady-rate) transfer duration anchors the trace's
+        // characteristic horizon, and θ deflates the trace so every byte
+        // pays the I/O-inflated movement cost (module docs).
+        let base = Rate::from_bytes_per_sec(effective / theta);
+        let horizon = theta * s_bytes / effective;
+        let trace = shape.build(base, horizon, seed);
+
+        let source = FrameSource::new(
+            self.config.frames,
+            Bytes::from_b(s_bytes / self.config.frames as f64),
+            TimeDelta::from_secs(BURST_PERIOD_S),
+        );
+        // Zero-overhead WAN: the closed form has no framing or RTT terms,
+        // so none may leak into the comparison.
+        let wan = WanProfile {
+            bandwidth: base,
+            rtt: TimeDelta::ZERO,
+            per_message_overhead: TimeDelta::ZERO,
+        };
+        let movement = EventStreamingPipeline::new(source, wan, trace.clone()).run();
+        let sim_transfer = movement.completion.as_secs();
+
+        // Remote compute has no network in it; the closed form is exact
+        // there, so the simulated T_pct reuses it (sequential, as Eq. 10).
+        let t_remote = model_eval.t_remote().as_secs();
+        let sim_t_pct = sim_transfer + t_remote;
+        let model_t_pct = model.t_pct.as_secs();
+        let t_pct_rel_err = (sim_t_pct - model_t_pct).abs() / model_t_pct.abs().max(1e-12);
+
+        // The staged column: the same trace through the file-based event
+        // pipeline (preset PFS/DTN substrate, the traced WAN in place of
+        // its constant link).
+        let mut path = presets::aps_to_alcf();
+        path.wan = wan;
+        let staged = EventFileBasedPipeline::new(source, self.config.files, path, trace.clone());
+        let sim_file_completion_s = staged.run().completion.as_secs();
+
+        // The simulated verdict: the model's own decision rule fed with
+        // simulated inputs. Feasibility uses the trace's mean effective
+        // rate over the nominal horizon (θ-undeflated, comparable to
+        // α·Bw); the time comparison uses the simulated T_pct against the
+        // analytic T_local (no network on the local path).
+        let mean_effective = theta * trace.mean_rate(horizon);
+        let required = p.required_stream_rate().as_bytes_per_sec();
+        let t_local = model.t_local.as_secs();
+        let sim_decision = if required > mean_effective {
+            Decision::Infeasible
+        } else if sim_t_pct < t_local {
+            Decision::RemoteStream
+        } else {
+            Decision::Local
+        };
+
+        ReplayRecord {
+            scenario_id: scenario.id.clone(),
+            shape,
+            mean_effective_gbps: Rate::from_bytes_per_sec(mean_effective).as_gbps(),
+            model_transfer_s: model_eval.t_transfer().as_secs() + model_eval.t_io().as_secs(),
+            sim_transfer_s: sim_transfer,
+            model_t_pct_s: model_t_pct,
+            sim_t_pct_s: sim_t_pct,
+            t_pct_rel_err,
+            sim_file_completion_s,
+            model_decision: model.decision,
+            sim_decision,
+            agree: model.decision == sim_decision,
+        }
+    }
+}
+
+fn summarize_shape(records: &[ReplayRecord], shape: TraceShape) -> ShapeSummary {
+    let of_shape: Vec<&ReplayRecord> = records.iter().filter(|r| r.shape == shape).collect();
+    let n = of_shape.len().max(1) as f64;
+    ShapeSummary {
+        shape,
+        max_rel_err: of_shape.iter().map(|r| r.t_pct_rel_err).fold(0.0, f64::max),
+        mean_rel_err: of_shape.iter().map(|r| r.t_pct_rel_err).sum::<f64>() / n,
+        agreement: of_shape.iter().filter(|r| r.agree).count() as f64 / n,
+    }
+}
+
+/// One row per replay cell: model vs simulated completion and decisions.
+pub fn replay_table(report: &ReplayReport) -> Table {
+    let mut table = Table::new([
+        "scenario",
+        "trace",
+        "eff Gbps",
+        "model T_pct",
+        "sim T_pct",
+        "err%",
+        "model",
+        "sim",
+        "agree",
+    ])
+    .with_title("Model vs trace-driven session replay");
+    for r in &report.records {
+        table.row([
+            r.scenario_id.clone(),
+            r.shape.label().to_string(),
+            format!("{:.1}", r.mean_effective_gbps),
+            format!("{:.4}s", r.model_t_pct_s),
+            format!("{:.4}s", r.sim_t_pct_s),
+            format!("{:.3}", r.t_pct_rel_err * 100.0),
+            format!("{:?}", r.model_decision),
+            format!("{:?}", r.sim_decision),
+            if r.agree { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    table
+}
+
+/// One row per trace shape: error and agreement aggregates.
+pub fn replay_summary_table(report: &ReplayReport) -> Table {
+    let mut table = Table::new(["trace", "max err%", "mean err%", "agreement%"])
+        .with_title("Per-shape model error across the catalog");
+    for s in &report.shapes {
+        table.row([
+            s.shape.label().to_string(),
+            format!("{:.4}", s.max_rel_err * 100.0),
+            format!("{:.4}", s.mean_rel_err * 100.0),
+            format!("{:.1}", s.agreement * 100.0),
+        ]);
+    }
+    table
+}
+
+/// The full replay matrix as CSV: one row per (scenario, shape) cell.
+pub fn replay_csv(report: &ReplayReport) -> CsvWriter {
+    let mut csv = CsvWriter::new([
+        "scenario",
+        "trace",
+        "mean_effective_gbps",
+        "model_transfer_s",
+        "sim_transfer_s",
+        "model_t_pct_s",
+        "sim_t_pct_s",
+        "t_pct_rel_err",
+        "sim_file_completion_s",
+        "model_decision",
+        "sim_decision",
+        "agree",
+    ]);
+    for r in &report.records {
+        csv.row([
+            r.scenario_id.clone(),
+            r.shape.label().to_string(),
+            format!("{}", r.mean_effective_gbps),
+            format!("{}", r.model_transfer_s),
+            format!("{}", r.sim_transfer_s),
+            format!("{}", r.model_t_pct_s),
+            format!("{}", r.sim_t_pct_s),
+            format!("{}", r.t_pct_rel_err),
+            format!("{}", r.sim_file_completion_s),
+            format!("{:?}", r.model_decision),
+            format!("{:?}", r.sim_decision),
+            format!("{}", r.agree),
+        ]);
+    }
+    csv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_scenarios() -> Vec<Scenario> {
+        vec![
+            Scenario::by_id("lcls-coherent-scattering").unwrap(),
+            Scenario::by_id("climate-checkpoint-stream").unwrap(), // θ = 2.5
+        ]
+    }
+
+    #[test]
+    fn steady_replay_matches_the_closed_form() {
+        let replay = SessionReplay::bundled(ReplayConfig::quick(42));
+        let report = replay.run_sequential();
+        let steady = report.shape_summary(TraceShape::Steady).unwrap();
+        assert!(
+            steady.max_rel_err <= STEADY_TOLERANCE,
+            "steady error {} above the documented tolerance",
+            steady.max_rel_err
+        );
+        assert_eq!(
+            steady.agreement, 1.0,
+            "steady replay must reproduce every model decision"
+        );
+    }
+
+    #[test]
+    fn replay_covers_every_cell() {
+        let config = ReplayConfig::quick(7);
+        let replay = SessionReplay::new(two_scenarios(), config.clone());
+        let report = replay.run_sequential();
+        assert_eq!(report.records.len(), 2 * config.shapes.len());
+        assert_eq!(report.shapes.len(), config.shapes.len());
+        for r in &report.records {
+            assert!(r.sim_t_pct_s > 0.0);
+            assert!(r.t_pct_rel_err.is_finite());
+            assert!(r.sim_file_completion_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_are_bit_identical() {
+        let replay = SessionReplay::new(two_scenarios(), ReplayConfig::quick(42));
+        let par = replay.run(&ThreadPool::new(4));
+        let seq = replay.run_sequential();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn degraded_traces_never_beat_the_model() {
+        // The bundled shapes only remove bandwidth, so the simulated
+        // transfer is never faster than the closed form's.
+        let replay = SessionReplay::bundled(ReplayConfig::quick(42));
+        for r in replay.run_sequential().records {
+            assert!(
+                r.sim_transfer_s >= r.model_transfer_s * (1.0 - 1e-9),
+                "{} under {}: sim {} beat model {}",
+                r.scenario_id,
+                r.shape,
+                r.sim_transfer_s,
+                r.model_transfer_s
+            );
+        }
+    }
+
+    #[test]
+    fn outage_inflates_error_beyond_steady() {
+        let replay = SessionReplay::bundled(ReplayConfig::quick(42));
+        let report = replay.run_sequential();
+        let steady = report.shape_summary(TraceShape::Steady).unwrap();
+        let outage = report.shape_summary(TraceShape::Outage).unwrap();
+        assert!(
+            outage.max_rel_err > steady.max_rel_err.max(0.01),
+            "a 35%-of-horizon outage must visibly break the closed form \
+             (outage {} vs steady {})",
+            outage.max_rel_err,
+            steady.max_rel_err
+        );
+    }
+
+    #[test]
+    fn seed_changes_only_bursty_cells() {
+        let scenarios = two_scenarios();
+        let a = SessionReplay::new(scenarios.clone(), ReplayConfig::quick(1)).run_sequential();
+        let b = SessionReplay::new(scenarios, ReplayConfig::quick(2)).run_sequential();
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            if ra.shape == TraceShape::Bursty {
+                continue; // dip placement is seeded and may differ
+            }
+            assert_eq!(
+                ra, rb,
+                "{}/{} should not depend on the seed",
+                ra.scenario_id, ra.shape
+            );
+        }
+    }
+
+    #[test]
+    fn tables_and_csv_cover_all_cells() {
+        let replay = SessionReplay::new(two_scenarios(), ReplayConfig::quick(42));
+        let report = replay.run_sequential();
+        assert_eq!(replay_table(&report).len(), report.records.len());
+        assert_eq!(replay_summary_table(&report).len(), report.shapes.len());
+        let csv = replay_csv(&report);
+        assert_eq!(csv.as_str().lines().count(), 1 + report.records.len());
+        assert!(csv.as_str().contains("lcls-coherent-scattering"));
+    }
+
+    #[test]
+    fn report_serde_round_trip() {
+        let replay = SessionReplay::new(two_scenarios(), ReplayConfig::quick(42));
+        let report = replay.run_sequential();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ReplayReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ReplayConfig")]
+    fn zero_frames_rejected() {
+        let mut config = ReplayConfig::quick(1);
+        config.frames = 0;
+        let _ = SessionReplay::new(two_scenarios(), config);
+    }
+}

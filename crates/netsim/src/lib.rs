@@ -31,16 +31,17 @@ mod link;
 mod packet;
 mod sim;
 mod tcp;
-mod time;
 
 pub use config::{LinkConfig, Qdisc, SimConfig, TcpConfig};
 pub use link::{Link, LinkStats};
 pub use packet::{FlowId, Packet, PacketKind};
 pub use sim::{CwndSample, FlowRecord, FlowSpec, SimReport, Simulator};
+// The clock and event queue live in the shared `sss-sim` kernel; the
+// re-export keeps `sss_netsim::SimTime` working for existing callers.
+pub use sss_sim::SimTime;
 pub use tcp::{
     AckInfo, CongestionAlgo, SackBlock, TcpAction, TcpReceiver, TcpSender, TcpSenderStats,
 };
-pub use time::SimTime;
 
 #[cfg(test)]
 mod proptests {

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::{LinkConfig, Qdisc};
 use crate::packet::Packet;
-use crate::time::SimTime;
+use sss_sim::SimTime;
 
 /// Running counters for one link (the "interface byte/packet counters"
 /// the paper's methodology collects).

@@ -1,9 +1,7 @@
 //! The discrete-event simulation core.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use serde::{Deserialize, Serialize};
+use sss_sim::{EventQueue, SimTime};
 use sss_stats::RateSeries;
 use sss_units::{Bytes, TimeDelta};
 
@@ -11,7 +9,6 @@ use crate::config::SimConfig;
 use crate::link::{Enqueue, Link, LinkStats};
 use crate::packet::{FlowId, Packet, PacketKind};
 use crate::tcp::{AckInfo, TcpAction, TcpReceiver, TcpSender, TcpSenderStats};
-use crate::time::SimTime;
 
 /// Specification of one TCP transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -156,32 +153,6 @@ enum EventKind {
     RtoFire(FlowId, u64),
 }
 
-/// Heap entry ordered by (time, insertion sequence) for deterministic
-/// tie-breaking.
-struct EventEntry {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for EventEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for EventEntry {}
-impl PartialOrd for EventEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EventEntry {
-    /// Reversed so the `BinaryHeap` max-heap pops the *earliest* event.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
 struct FlowState {
     spec: FlowSpec,
     sender: TcpSender,
@@ -196,8 +167,7 @@ pub struct Simulator {
     access: Vec<Link>,
     bottleneck: Link,
     flows: Vec<FlowState>,
-    heap: BinaryHeap<EventEntry>,
-    next_seq: u64,
+    queue: EventQueue<SimTime, EventKind>,
     now: SimTime,
     delivered: RateSeries,
     events: u64,
@@ -222,8 +192,7 @@ impl Simulator {
                 .collect(),
             bottleneck: Link::new(cfg.bottleneck, 0xB0771E),
             flows: Vec::new(),
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+            queue: EventQueue::new(),
             now: SimTime::ZERO,
             delivered: RateSeries::new(cfg.counter_bin.as_secs()),
             events: 0,
@@ -272,24 +241,22 @@ impl Simulator {
     }
 
     fn schedule(&mut self, at: SimTime, kind: EventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(EventEntry { at, seq, kind });
+        self.queue.schedule(at, kind);
     }
 
     /// Run to completion (or until `max_sim_time`) and report.
     pub fn run(mut self) -> SimReport {
         let horizon = SimTime::ZERO + self.cfg.max_sim_time;
         let mut truncated = false;
-        while let Some(ev) = self.heap.pop() {
-            if ev.at > horizon {
+        while let Some((at, kind)) = self.queue.pop() {
+            if at > horizon {
                 truncated = true;
                 break;
             }
-            debug_assert!(ev.at >= self.now, "time went backwards");
-            self.now = ev.at;
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
             self.events += 1;
-            self.dispatch(ev.kind);
+            self.dispatch(kind);
         }
         SimReport {
             flows: self

@@ -32,7 +32,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use crate::config::TcpConfig;
-use crate::time::SimTime;
+use sss_sim::SimTime;
 use sss_units::TimeDelta;
 
 /// Congestion-avoidance algorithm selection.

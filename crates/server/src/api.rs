@@ -11,7 +11,8 @@ use sss_core::{
     decide, Axis, BreakEven, Decision, DecisionReport, FrontierSpec, ModelParams, ParamError,
     Scenario, Sensitivity, Tier, TierReport,
 };
-use sss_loadgen::FrontierJob;
+use sss_loadgen::{FrontierJob, ReplayConfig, SessionReplay};
+use sss_sim::TraceShape;
 use sss_units::{Bytes, ComputeIntensity, FlopRate, Rate, Ratio};
 
 fn default_theta() -> f64 {
@@ -251,6 +252,86 @@ impl FrontierRequest {
         spec.tolerance = self.tolerance;
         spec.slices = self.slices;
         FrontierJob::new(params, spec)
+    }
+}
+
+fn default_shapes() -> Vec<String> {
+    TraceShape::ALL.iter().map(|s| s.label().into()).collect()
+}
+
+fn default_frames() -> u32 {
+    64
+}
+
+fn default_files() -> u32 {
+    16
+}
+
+fn default_seed() -> u64 {
+    42
+}
+
+/// Body of `POST /simulate`: a workload plus the WAN trace shapes to
+/// replay it under through the event-driven simulator.
+///
+/// The response is the serialized
+/// [`sss_loadgen::ReplayReport`] — per-trace simulated completion,
+/// relative error against the closed-form model, and decision agreement;
+/// byte-identical to what `stream-score simulate` computes for the same
+/// workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulateRequest {
+    /// The workload in paper units.
+    pub workload: DecideRequest,
+    /// Trace-shape labels (default: all four bundled shapes).
+    #[serde(default = "default_shapes")]
+    pub shapes: Vec<String>,
+    /// Frames the data unit is split into (default 64, max
+    /// [`SimulateRequest::MAX_FRAMES`]).
+    #[serde(default = "default_frames")]
+    pub frames: u32,
+    /// File count for the staged-replay column (default 16).
+    #[serde(default = "default_files")]
+    pub files: u32,
+    /// Seed for the `bursty` shape's dip placement (default 42).
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+}
+
+impl SimulateRequest {
+    /// Largest per-request frame split the service simulates.
+    pub const MAX_FRAMES: u32 = 4096;
+
+    /// Validate the request into a runnable replay.
+    pub fn replay(&self) -> Result<SessionReplay, String> {
+        let params = self.workload.params().map_err(|e| e.to_string())?;
+        if self.frames > Self::MAX_FRAMES {
+            return Err(format!(
+                "frames {} exceeds the service cap of {}",
+                self.frames,
+                Self::MAX_FRAMES
+            ));
+        }
+        let shapes = self
+            .shapes
+            .iter()
+            .map(|s| TraceShape::parse(s))
+            .collect::<Result<Vec<TraceShape>, String>>()?;
+        let config = ReplayConfig {
+            frames: self.frames,
+            files: self.files,
+            shapes,
+            seed: self.seed,
+        };
+        config.validate()?;
+        let scenario = Scenario {
+            id: "workload".into(),
+            name: "POST /simulate workload".into(),
+            provenance: "request body".into(),
+            params,
+            tier: Tier::NearRealTime,
+        };
+        Ok(SessionReplay::new(vec![scenario], config))
     }
 }
 

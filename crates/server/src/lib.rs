@@ -13,7 +13,8 @@
 //! ```
 //!
 //! * [`server::Server`] — accept loop and router for `POST /decide`,
-//!   `POST /tiers`, `POST /frontier`, `GET /scenarios` and `GET /healthz`.
+//!   `POST /tiers`, `POST /frontier`, `POST /simulate`, `GET /scenarios`
+//!   and `GET /healthz`.
 //! * [`batch::Batcher`] — micro-batches concurrent `/decide` bodies and
 //!   evaluates each wave of cache misses in one [`sss_exec::ThreadPool`]
 //!   fan-out. `/frontier` requests fan their grid rows and boundary edges
@@ -71,7 +72,7 @@ pub mod server;
 
 pub use api::{
     DecideRequest, DecideResponse, ErrorResponse, FrontierRequest, ScenarioEntry,
-    ScenariosResponse, TiersRequest, TiersResponse,
+    ScenariosResponse, SimulateRequest, TiersRequest, TiersResponse,
 };
 pub use batch::{BatchStats, Batcher};
 pub use cache::{CacheKey, CacheStats, DecisionCache, ResponseCache};

@@ -13,7 +13,9 @@ use sss_units::Ratio;
 
 use sss_exec::ThreadPool;
 
-use crate::api::{ErrorResponse, FrontierRequest, ScenariosResponse, TiersRequest};
+use crate::api::{
+    ErrorResponse, FrontierRequest, ScenariosResponse, SimulateRequest, TiersRequest,
+};
 use crate::batch::{BatchStats, Batcher};
 use crate::cache::{CacheKey, CacheStats, DecisionCache, ResponseCache};
 use crate::http::{read_request, write_response, HttpError, Request};
@@ -79,17 +81,124 @@ impl FrontierKey {
 /// the configured `/decide` capacity.
 const FRONTIER_CACHE_CAP: usize = 64;
 
+/// `/simulate` bodies are mid-sized (one record per trace shape), so
+/// their cache sits between the decide and frontier caps.
+const SIMULATE_CACHE_CAP: usize = 256;
+
+/// The identity of a `/simulate` query: quantized base parameters plus
+/// every knob that shapes the replay.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SimulateKey {
+    params: CacheKey,
+    shapes: Vec<String>,
+    frames: u32,
+    files: u32,
+    seed: u64,
+}
+
+impl SimulateKey {
+    fn of(request: &SimulateRequest, params: &sss_core::ModelParams) -> Self {
+        SimulateKey {
+            params: CacheKey::of(params),
+            shapes: request.shapes.clone(),
+            frames: request.frames,
+            files: request.files,
+            seed: request.seed,
+        }
+    }
+}
+
+/// Single-flight coordination: the first thread to miss on a key
+/// computes; identical concurrent misses wait for its insert and are
+/// then served the computer's exact bytes from the cache, instead of
+/// burning the pool N times for one answer. The vendored parking_lot
+/// has no Condvar, so this uses std's; a poisoned lock is recovered
+/// rather than propagated (the critical sections are pure HashSet
+/// operations, so the set cannot be left inconsistent).
+struct SingleFlight<K> {
+    inflight: Mutex<HashSet<K>>,
+    done: Condvar,
+}
+
+impl<K: Clone + Eq + std::hash::Hash> SingleFlight<K> {
+    fn new() -> Self {
+        SingleFlight {
+            inflight: Mutex::new(HashSet::new()),
+            done: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashSet<K>> {
+        self.inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Serve `key` from `cache`, computing the body at most once across
+    /// concurrent identical requests. (With caching disabled every
+    /// waiter recomputes — degenerate but correct.)
+    fn serve(
+        &self,
+        cache: &ResponseCache<K>,
+        key: K,
+        compute: impl FnOnce() -> Arc<str>,
+    ) -> Arc<str> {
+        loop {
+            if let Some(hit) = cache.get(&key) {
+                return hit;
+            }
+            let mut inflight = self.lock();
+            if inflight.insert(key.clone()) {
+                break;
+            }
+            // Someone else is computing this key: wait for them to
+            // finish, then re-check the cache.
+            drop(
+                self.done
+                    .wait(inflight)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+        }
+        // Remove the claim even if serialization or the pool panics, so
+        // an identical later request is never stuck waiting forever.
+        struct Claim<'a, K: Clone + Eq + std::hash::Hash> {
+            flight: &'a SingleFlight<K>,
+            key: &'a K,
+        }
+        impl<K: Clone + Eq + std::hash::Hash> Drop for Claim<'_, K> {
+            fn drop(&mut self) {
+                self.flight.lock().remove(self.key);
+                self.flight.done.notify_all();
+            }
+        }
+        let claim = Claim {
+            flight: self,
+            key: &key,
+        };
+        // Re-check after winning the claim: another computer's insert
+        // may have landed between our miss and our claim, and recomputing
+        // for bytes already in the cache would waste the pool.
+        if let Some(hit) = cache.get(&key) {
+            drop(claim);
+            return hit;
+        }
+        let body = compute();
+        cache.insert(key.clone(), body.clone());
+        drop(claim);
+        body
+    }
+}
+
 /// Everything a connection thread needs, shared behind one `Arc`.
 struct AppState {
     cache: Arc<DecisionCache>,
+    /// Shared pool `/frontier` and `/simulate` cache misses fan their
+    /// work across, sized like the batcher's.
+    miss_pool: ThreadPool,
     frontier_cache: ResponseCache<FrontierKey>,
-    /// Shared pool for `/frontier` cache misses, sized like the batcher's.
-    frontier_pool: ThreadPool,
-    /// Single-flight set: keys currently being computed. Concurrent
-    /// identical `/frontier` misses wait on `frontier_done` instead of
-    /// burning the pool N times for one answer.
-    frontier_inflight: Mutex<HashSet<FrontierKey>>,
-    frontier_done: Condvar,
+    frontier_flight: SingleFlight<FrontierKey>,
+    simulate_cache: ResponseCache<SimulateKey>,
+    simulate_flight: SingleFlight<SimulateKey>,
     batcher: Batcher,
     scenarios_body: Arc<str>,
     started: Instant,
@@ -117,6 +226,8 @@ pub struct Health {
     pub batch: BatchStats,
     /// `/frontier` body-cache counters.
     pub frontier_cache: CacheStats,
+    /// `/simulate` body-cache counters.
+    pub simulate_cache: CacheStats,
 }
 
 /// A bound-but-not-yet-serving instance: inspect [`Server::local_addr`],
@@ -142,10 +253,11 @@ impl Server {
             listener,
             state: Arc::new(AppState {
                 cache,
+                miss_pool: ThreadPool::new(config.workers),
                 frontier_cache: ResponseCache::new(config.cache_capacity.min(FRONTIER_CACHE_CAP)),
-                frontier_pool: ThreadPool::new(config.workers),
-                frontier_inflight: Mutex::new(HashSet::new()),
-                frontier_done: Condvar::new(),
+                frontier_flight: SingleFlight::new(),
+                simulate_cache: ResponseCache::new(config.cache_capacity.min(SIMULATE_CACHE_CAP)),
+                simulate_flight: SingleFlight::new(),
                 batcher,
                 scenarios_body,
                 started: Instant::now(),
@@ -280,9 +392,10 @@ fn route(request: &Request, state: &AppState) -> (u16, Arc<str>) {
         ("POST", "/decide") => handle_decide(&request.body, state),
         ("POST", "/tiers") => handle_tiers(&request.body),
         ("POST", "/frontier") => handle_frontier(&request.body, state),
+        ("POST", "/simulate") => handle_simulate(&request.body, state),
         ("GET", "/scenarios") => (200, state.scenarios_body.clone()),
         ("GET", "/healthz") => handle_healthz(state),
-        (_, "/decide" | "/tiers" | "/frontier" | "/scenarios" | "/healthz") => (
+        (_, "/decide" | "/tiers" | "/frontier" | "/simulate" | "/scenarios" | "/healthz") => (
             405,
             error_body(format!(
                 "method {} not allowed on {}",
@@ -320,60 +433,36 @@ fn handle_frontier(body: &[u8], state: &AppState) -> (u16, Arc<str>) {
         Err(e) => return (400, error_body(e)),
     };
     let key = FrontierKey::of(&request, job.base());
-    // Single-flight: the first thread to miss computes; identical
-    // concurrent misses wait for its insert and are then served from the
-    // cache (so their answers are the computer's exact bytes). The
-    // vendored parking_lot has no Condvar, so this uses std's; a poisoned
-    // lock is recovered rather than propagated (the critical sections are
-    // pure HashSet operations, so the set cannot be left inconsistent).
-    fn lock_inflight(state: &AppState) -> std::sync::MutexGuard<'_, HashSet<FrontierKey>> {
-        state
-            .frontier_inflight
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-    loop {
-        if let Some(hit) = state.frontier_cache.get(&key) {
-            return (200, hit);
-        }
-        let mut inflight = lock_inflight(state);
-        if inflight.insert(key.clone()) {
-            break;
-        }
-        // Someone else is computing this key: wait for them to finish,
-        // then re-check the cache. (With caching disabled the waiter
-        // recomputes — degenerate but correct.)
-        drop(
-            state
-                .frontier_done
-                .wait(inflight)
-                .unwrap_or_else(std::sync::PoisonError::into_inner),
-        );
-    }
-    // Remove the claim even if serialization or the pool panics, so an
-    // identical later request is never stuck waiting forever.
-    struct InflightClaim<'a> {
-        state: &'a AppState,
-        key: &'a FrontierKey,
-    }
-    impl Drop for InflightClaim<'_> {
-        fn drop(&mut self) {
-            lock_inflight(self.state).remove(self.key);
-            self.state.frontier_done.notify_all();
-        }
-    }
-    let claim = InflightClaim { state, key: &key };
-    // Re-check after winning the claim: another computer's insert may
-    // have landed between our miss and our claim, and recomputing a
-    // full grid for bytes already in the cache would waste the pool.
-    if let Some(hit) = state.frontier_cache.get(&key) {
-        drop(claim);
-        return (200, hit);
-    }
-    let map = job.run(&state.frontier_pool);
-    let body: Arc<str> = Arc::from(serde_json::to_string(&map).expect("frontier map serializes"));
-    state.frontier_cache.insert(key.clone(), body.clone());
-    drop(claim);
+    let body = state.frontier_flight.serve(&state.frontier_cache, key, || {
+        let map = job.run(&state.miss_pool);
+        Arc::from(serde_json::to_string(&map).expect("frontier map serializes"))
+    });
+    (200, body)
+}
+
+/// `POST /simulate`: replay the workload through the event-driven
+/// simulator under the requested trace shapes, memoizing whole response
+/// bodies in [`AppState::simulate_cache`]. The replay is position-seeded
+/// and the cells fan across the worker pool, so the bytes served are
+/// independent of worker count and of the hit/miss boundary.
+fn handle_simulate(body: &[u8], state: &AppState) -> (u16, Arc<str>) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, error_body("body is not UTF-8".into())),
+    };
+    let request: SimulateRequest = match serde_json::from_str(text) {
+        Ok(r) => r,
+        Err(e) => return (400, error_body(format!("bad simulate request: {e}"))),
+    };
+    let replay = match request.replay() {
+        Ok(replay) => replay,
+        Err(e) => return (400, error_body(e)),
+    };
+    let key = SimulateKey::of(&request, &replay.scenarios()[0].params);
+    let body = state.simulate_flight.serve(&state.simulate_cache, key, || {
+        let report = replay.run(&state.miss_pool);
+        Arc::from(serde_json::to_string(&report).expect("replay report serializes"))
+    });
     (200, body)
 }
 
@@ -413,6 +502,7 @@ fn handle_healthz(state: &AppState) -> (u16, Arc<str>) {
         cache: state.cache.stats(),
         batch: state.batcher.stats(),
         frontier_cache: state.frontier_cache.stats(),
+        simulate_cache: state.simulate_cache.stats(),
     };
     (
         200,

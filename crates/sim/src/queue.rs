@@ -1,0 +1,156 @@
+//! The event queue every discrete-event process scheduler shares.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A future-event set ordered by `(time, insertion sequence)`.
+///
+/// The secondary sequence key makes simultaneous events pop in the order
+/// they were scheduled, so a simulation driven by this queue is a pure
+/// function of its inputs — no hash-map iteration order, no heap
+/// tie-break ambiguity. Both the packet-level network simulator (integer
+/// [`SimTime`](crate::SimTime) clock) and the staging-pipeline simulator
+/// (exact-`f64` [`Seconds`](crate::Seconds) clock) run on this one type.
+///
+/// ```
+/// use sss_sim::{EventQueue, SimTime};
+///
+/// let mut q: EventQueue<SimTime, &str> = EventQueue::new();
+/// q.schedule(SimTime::from_millis(5), "later");
+/// q.schedule(SimTime::from_millis(1), "first");
+/// q.schedule(SimTime::from_millis(1), "second"); // same instant: FIFO
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(1), "first")));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(1), "second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(5), "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<T, E> {
+    heap: BinaryHeap<Entry<T, E>>,
+    next_seq: u64,
+    scheduled: u64,
+}
+
+struct Entry<T, E> {
+    at: T,
+    seq: u64,
+    event: E,
+}
+
+impl<T: Ord, E> PartialEq for Entry<T, E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T: Ord, E> Eq for Entry<T, E> {}
+impl<T: Ord, E> PartialOrd for Entry<T, E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: Ord, E> Ord for Entry<T, E> {
+    /// Reversed so the `BinaryHeap` max-heap pops the *earliest* event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (&other.at, other.seq).cmp(&(&self.at, self.seq))
+    }
+}
+
+impl<T: Ord, E> EventQueue<T, E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled: 0,
+        }
+    }
+
+    /// Schedule `event` at instant `at`.
+    pub fn schedule(&mut self, at: T, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Remove and return the earliest event (FIFO among ties).
+    pub fn pop(&mut self) -> Option<(T, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// The instant of the earliest pending event.
+    pub fn peek_time(&self) -> Option<&T> {
+        self.heap.peek().map(|e| &e.at)
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (diagnostic / benchmarking).
+    pub fn scheduled(&self) -> u64 {
+        self.scheduled
+    }
+}
+
+impl<T: Ord, E> Default for EventQueue<T, E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{Seconds, SimTime};
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), 'c');
+        q.schedule(SimTime::from_nanos(10), 'a');
+        q.schedule(SimTime::from_nanos(20), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule(SimTime::from_nanos(7), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn counters_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Seconds::new(2.0), ());
+        q.schedule(Seconds::new(1.0), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled(), 2);
+        assert_eq!(q.peek_time(), Some(&Seconds::new(1.0)));
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled(), 2, "scheduled counts total, not pending");
+    }
+
+    #[test]
+    fn works_on_the_f64_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(Seconds::new(0.3), "late");
+        q.schedule(Seconds::new(0.1), "early");
+        assert_eq!(q.pop(), Some((Seconds::new(0.1), "early")));
+        assert_eq!(q.pop(), Some((Seconds::new(0.3), "late")));
+    }
+}

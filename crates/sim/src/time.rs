@@ -1,8 +1,17 @@
-//! Simulation clock: integer nanoseconds.
+//! Simulation clocks.
 //!
-//! Integer time makes event ordering exact and runs reproducible across
-//! platforms; `f64` seconds are converted at the boundary only.
+//! Two instant types cover the repo's two simulation worlds:
+//!
+//! * [`SimTime`] — integer nanoseconds. Integer time makes event ordering
+//!   exact and runs reproducible across platforms; `f64` seconds are
+//!   converted at the boundary only. The packet-level network simulator
+//!   runs on this clock.
+//! * [`Seconds`] — totally-ordered `f64` seconds. The staging-pipeline
+//!   simulator computes with the exact `f64` arithmetic of its analytic
+//!   reference recurrences, so its event clock must not round times to a
+//!   grid; a total order over finite non-negative floats is enough.
 
+use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -28,16 +37,17 @@ impl SimTime {
         SimTime(ns)
     }
 
-    /// Construct from whole microseconds.
+    /// Construct from whole microseconds, saturating at [`SimTime::MAX`]
+    /// (an overflowing count cannot wrap back into the simulated past).
     #[inline]
     pub const fn from_micros(us: u64) -> Self {
-        SimTime(us * 1_000)
+        SimTime(us.saturating_mul(1_000))
     }
 
-    /// Construct from whole milliseconds.
+    /// Construct from whole milliseconds, saturating at [`SimTime::MAX`].
     #[inline]
     pub const fn from_millis(ms: u64) -> Self {
-        SimTime(ms * 1_000_000)
+        SimTime(ms.saturating_mul(1_000_000))
     }
 
     /// Construct from fractional seconds (rounded to the nearest ns).
@@ -130,6 +140,61 @@ impl fmt::Display for SimTime {
     }
 }
 
+/// A totally-ordered instant in fractional seconds.
+///
+/// The order is `f64::total_cmp`, so any finite values compare exactly as
+/// their arithmetic does; the constructor rejects NaN (which would break
+/// the `Ord` contract) and negative times (simulation starts at 0).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Seconds(f64);
+
+impl Seconds {
+    /// Simulation epoch.
+    pub const ZERO: Seconds = Seconds(0.0);
+
+    /// Construct from fractional seconds.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    pub fn new(s: f64) -> Self {
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Seconds must be non-negative and finite, got {s}"
+        );
+        Seconds(s)
+    }
+
+    /// The raw value in seconds.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for Seconds {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for Seconds {}
+impl PartialOrd for Seconds {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Seconds {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +205,26 @@ mod tests {
         assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
         assert_eq!(SimTime::from_secs(1.5).as_nanos(), 1_500_000_000);
         assert_eq!(SimTime::from_secs(0.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn overflowing_constructors_saturate() {
+        // u64::MAX µs is ~18 × the representable ns range: the old
+        // unchecked multiply wrapped into the simulated past.
+        assert_eq!(SimTime::from_micros(u64::MAX), SimTime::MAX);
+        assert_eq!(SimTime::from_millis(u64::MAX), SimTime::MAX);
+        // The largest exactly-representable inputs still convert.
+        assert_eq!(
+            SimTime::from_micros(u64::MAX / 1_000).as_nanos(),
+            (u64::MAX / 1_000) * 1_000
+        );
+        assert_eq!(
+            SimTime::from_millis(u64::MAX / 1_000_000).as_nanos(),
+            (u64::MAX / 1_000_000) * 1_000_000
+        );
+        // One past the boundary saturates instead of wrapping.
+        assert_eq!(SimTime::from_micros(u64::MAX / 1_000 + 1), SimTime::MAX);
+        assert_eq!(SimTime::from_millis(u64::MAX / 1_000_000 + 1), SimTime::MAX);
     }
 
     #[test]
@@ -179,5 +264,25 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(SimTime::from_millis(160).to_string(), "t=0.160000s");
+    }
+
+    #[test]
+    fn seconds_total_order() {
+        assert!(Seconds::new(1.0) < Seconds::new(2.0));
+        assert_eq!(Seconds::new(5.0), Seconds::new(5.0));
+        assert_eq!(Seconds::ZERO.value(), 0.0);
+        assert_eq!(Seconds::new(0.25).to_string(), "t=0.250000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn seconds_rejects_negative() {
+        let _ = Seconds::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative and finite")]
+    fn seconds_rejects_nan() {
+        let _ = Seconds::new(f64::NAN);
     }
 }

@@ -1,0 +1,486 @@
+//! Time-varying WAN bandwidth traces.
+//!
+//! The closed-form completion model treats the network as a constant
+//! effective rate `α·Bw`; real campaigns see diurnal load cycles, bursty
+//! loss episodes and scheduled maintenance windows. A [`BandwidthTrace`]
+//! is a piecewise-constant rate over simulated time; the event-driven
+//! pipelines integrate transfers over it, which is exactly where the
+//! simulated completion diverges from the closed form.
+//!
+//! [`TraceShape`] is the bundled vocabulary the scenario catalog replays
+//! under (see the shape constants documented on each variant):
+//!
+//! * `steady` — constant at the base rate (the closed-form assumption);
+//! * `diurnal` — a staircase cosine between 10% and 100% of base
+//!   (mean 55%), one full period per characteristic horizon;
+//! * `bursty` — deterministic pseudo-random congestion dips to 30% of
+//!   base, hitting ~25% of `horizon/32` slots;
+//! * `outage` — one full outage window from 25% to 60% of the horizon.
+
+use serde::{Deserialize, Serialize};
+use sss_units::Rate;
+
+/// A piecewise-constant bandwidth profile over simulated time.
+///
+/// Segments cover `[start_i, start_{i+1})`; the last segment extends
+/// forever and must carry a positive rate so every transfer terminates.
+///
+/// ```
+/// use sss_sim::BandwidthTrace;
+/// use sss_units::Rate;
+///
+/// let t = BandwidthTrace::from_segments(&[
+///     (0.0, Rate::from_gigabytes_per_sec(1.0)),
+///     (2.0, Rate::ZERO),                          // a 2-second outage
+///     (4.0, Rate::from_gigabytes_per_sec(1.0)),
+/// ])
+/// .unwrap();
+/// // 3 GB starting at t=0: 2 GB move before the outage, the rest after.
+/// assert_eq!(t.finish_time(0.0, 3.0e9), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthTrace {
+    /// Segment start times in seconds; strictly increasing, first is 0.
+    starts_s: Vec<f64>,
+    /// Rate of each segment in bytes per second.
+    rates_bps: Vec<f64>,
+}
+
+impl BandwidthTrace {
+    /// A constant-rate trace (the closed-form model's network).
+    ///
+    /// # Panics
+    /// Panics on a non-positive or non-finite rate.
+    pub fn steady(rate: Rate) -> Self {
+        Self::from_segments(&[(0.0, rate)]).expect("steady trace from a positive rate")
+    }
+
+    /// Build from `(start_s, rate)` segments.
+    ///
+    /// Validates: at least one segment, first start at 0, strictly
+    /// increasing finite starts, finite non-negative rates, and a
+    /// positive final rate (so transfers always terminate).
+    pub fn from_segments(segments: &[(f64, Rate)]) -> Result<Self, String> {
+        if segments.is_empty() {
+            return Err("a trace needs at least one segment".into());
+        }
+        if segments[0].0 != 0.0 {
+            return Err(format!(
+                "the first segment must start at t=0, got {}",
+                segments[0].0
+            ));
+        }
+        for w in segments.windows(2) {
+            if !(w[1].0.is_finite() && w[1].0 > w[0].0) {
+                return Err(format!(
+                    "segment starts must be finite and strictly increasing ({} then {})",
+                    w[0].0, w[1].0
+                ));
+            }
+        }
+        for (start, rate) in segments {
+            let r = rate.as_bytes_per_sec();
+            if !(r.is_finite() && r >= 0.0) {
+                return Err(format!(
+                    "rate at t={start} must be finite and >= 0, got {r}"
+                ));
+            }
+        }
+        let last = segments.last().expect("non-empty").1.as_bytes_per_sec();
+        if last <= 0.0 {
+            return Err(
+                "the final segment must have a positive rate (transfers must terminate)"
+                    .to_string(),
+            );
+        }
+        Ok(BandwidthTrace {
+            starts_s: segments.iter().map(|(s, _)| *s).collect(),
+            rates_bps: segments.iter().map(|(_, r)| r.as_bytes_per_sec()).collect(),
+        })
+    }
+
+    /// Number of segments.
+    pub fn segments(&self) -> usize {
+        self.starts_s.len()
+    }
+
+    /// The rate in effect at time `t_s`, in bytes per second.
+    pub fn rate_at(&self, t_s: f64) -> f64 {
+        let idx = self.starts_s.partition_point(|&s| s <= t_s);
+        self.rates_bps[idx.saturating_sub(1)]
+    }
+
+    /// Mean rate over `[0, horizon_s]` in bytes per second.
+    ///
+    /// # Panics
+    /// Panics on a non-positive horizon.
+    pub fn mean_rate(&self, horizon_s: f64) -> f64 {
+        assert!(
+            horizon_s > 0.0 && horizon_s.is_finite(),
+            "horizon must be positive, got {horizon_s}"
+        );
+        let mut moved = 0.0;
+        let mut t = 0.0;
+        for i in 0..self.starts_s.len() {
+            let end = self
+                .starts_s
+                .get(i + 1)
+                .copied()
+                .unwrap_or(f64::INFINITY)
+                .min(horizon_s);
+            if end <= t {
+                break;
+            }
+            moved += self.rates_bps[i] * (end - t);
+            t = end;
+        }
+        moved / horizon_s
+    }
+
+    /// When a transfer of `bytes` starting at `start_s` finishes, moving
+    /// at the traced rate.
+    pub fn finish_time(&self, start_s: f64, bytes: f64) -> f64 {
+        self.capped_finish_time(start_s, bytes, 1.0, f64::INFINITY)
+    }
+
+    /// [`BandwidthTrace::finish_time`] with the per-segment rate divided
+    /// by `divisor` (a fair share of the link, e.g. DTN concurrency) and
+    /// capped at `cap` bytes/s (a slower stage bounding the pipeline).
+    ///
+    /// Zero-rate intervals stall the transfer; the positive final segment
+    /// guarantees termination.
+    ///
+    /// # Panics
+    /// Panics on negative inputs, non-positive `divisor`/`cap`, or
+    /// non-finite `start_s`/`bytes`.
+    pub fn capped_finish_time(&self, start_s: f64, bytes: f64, divisor: f64, cap: f64) -> f64 {
+        assert!(
+            start_s >= 0.0 && start_s.is_finite(),
+            "start must be non-negative and finite, got {start_s}"
+        );
+        assert!(
+            bytes >= 0.0 && bytes.is_finite(),
+            "bytes must be non-negative and finite, got {bytes}"
+        );
+        assert!(divisor > 0.0, "divisor must be positive, got {divisor}");
+        assert!(cap > 0.0, "cap must be positive, got {cap}");
+        if bytes == 0.0 {
+            return start_s;
+        }
+        let mut remaining = bytes;
+        let mut t = start_s;
+        let mut i = self.starts_s.partition_point(|&s| s <= t).saturating_sub(1);
+        loop {
+            let rate = (self.rates_bps[i] / divisor).min(cap);
+            match self.starts_s.get(i + 1) {
+                None => return t + remaining / rate, // final rate is positive
+                Some(&end) => {
+                    if rate > 0.0 {
+                        let capacity = rate * (end - t);
+                        if capacity >= remaining {
+                            return t + remaining / rate;
+                        }
+                        remaining -= capacity;
+                    }
+                    t = end;
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// The same profile with every rate multiplied by `factor` (e.g. to
+    /// deflate an `α·Bw` effective-rate trace by a θ I/O inflation).
+    ///
+    /// # Panics
+    /// Panics on a non-positive or non-finite factor.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "scale factor must be positive and finite, got {factor}"
+        );
+        BandwidthTrace {
+            starts_s: self.starts_s.clone(),
+            rates_bps: self.rates_bps.iter().map(|r| r * factor).collect(),
+        }
+    }
+}
+
+/// The bundled trace-shape vocabulary the replay layer exercises.
+///
+/// Every shape is built relative to a **characteristic horizon** — the
+/// nominal (steady-rate) duration of the transfer being replayed — so the
+/// same shape stresses a 0.3-second detector burst and a 6-minute LHC
+/// dump equally: the transfer always spans the shape's features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceShape {
+    /// Constant at the base rate — the closed-form model's network.
+    Steady,
+    /// A 16-step staircase cosine cycling between 100% and 10% of base
+    /// (mean 55%), one full period per horizon, repeating for 8 horizons
+    /// before settling back at base.
+    Diurnal,
+    /// Congestion episodes: the horizon is cut into 32 slots repeated
+    /// over 8 horizons; each slot independently dips to 30% of base with
+    /// probability 1/4, decided by a SplitMix64 stream of the seed.
+    Bursty,
+    /// A scheduled maintenance window: full outage (zero rate) from 25%
+    /// to 60% of the horizon, base rate elsewhere.
+    Outage,
+}
+
+/// SplitMix64 finalizer — the same generator `sss_exec::SeedSequence`
+/// uses, inlined so the kernel crate stays dependency-free.
+fn splitmix64(state: &mut u64) {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    *state = z ^ (z >> 31);
+}
+
+impl TraceShape {
+    /// Every bundled shape, in replay order.
+    pub const ALL: [TraceShape; 4] = [
+        TraceShape::Steady,
+        TraceShape::Diurnal,
+        TraceShape::Bursty,
+        TraceShape::Outage,
+    ];
+
+    /// The shape's lowercase label (also the CLI/HTTP spelling).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceShape::Steady => "steady",
+            TraceShape::Diurnal => "diurnal",
+            TraceShape::Bursty => "bursty",
+            TraceShape::Outage => "outage",
+        }
+    }
+
+    /// Parse a lowercase label back into a shape.
+    pub fn parse(s: &str) -> Result<TraceShape, String> {
+        match s {
+            "steady" => Ok(TraceShape::Steady),
+            "diurnal" => Ok(TraceShape::Diurnal),
+            "bursty" => Ok(TraceShape::Bursty),
+            "outage" => Ok(TraceShape::Outage),
+            other => Err(format!(
+                "unknown trace shape {other:?}; known shapes: steady, diurnal, bursty, outage"
+            )),
+        }
+    }
+
+    /// Build the trace at `base` rate for a transfer whose nominal
+    /// steady-rate duration is `horizon_s`. `seed` drives the `bursty`
+    /// shape's dip placement (the other shapes ignore it), so traces are
+    /// pure functions of `(shape, base, horizon, seed)`.
+    ///
+    /// # Panics
+    /// Panics on a non-positive base rate or horizon.
+    pub fn build(&self, base: Rate, horizon_s: f64, seed: u64) -> BandwidthTrace {
+        assert!(
+            horizon_s > 0.0 && horizon_s.is_finite(),
+            "horizon must be positive, got {horizon_s}"
+        );
+        let segments = match self {
+            TraceShape::Steady => vec![(0.0, base)],
+            TraceShape::Diurnal => {
+                const STEPS: usize = 16;
+                const PERIODS: usize = 8;
+                let mut segments = Vec::with_capacity(STEPS * PERIODS + 1);
+                for k in 0..STEPS * PERIODS {
+                    let phase = 2.0 * std::f64::consts::PI * (k % STEPS) as f64 / STEPS as f64;
+                    let multiplier = 0.55 + 0.45 * phase.cos();
+                    segments.push((
+                        horizon_s * k as f64 / STEPS as f64,
+                        Rate::from_bytes_per_sec(base.as_bytes_per_sec() * multiplier),
+                    ));
+                }
+                segments.push((horizon_s * PERIODS as f64, base));
+                segments
+            }
+            TraceShape::Bursty => {
+                const SLOTS: usize = 32;
+                const HORIZONS: usize = 8;
+                let dip = Rate::from_bytes_per_sec(base.as_bytes_per_sec() * 0.3);
+                let mut state = seed;
+                let mut segments = Vec::with_capacity(SLOTS * HORIZONS + 1);
+                for k in 0..SLOTS * HORIZONS {
+                    splitmix64(&mut state);
+                    let dipped = state.is_multiple_of(4);
+                    segments.push((
+                        horizon_s * k as f64 / SLOTS as f64,
+                        if dipped { dip } else { base },
+                    ));
+                }
+                segments.push((horizon_s * HORIZONS as f64, base));
+                segments
+            }
+            TraceShape::Outage => vec![
+                (0.0, base),
+                (0.25 * horizon_s, Rate::ZERO),
+                (0.60 * horizon_s, base),
+            ],
+        };
+        BandwidthTrace::from_segments(&segments).expect("bundled shapes build valid traces")
+    }
+}
+
+impl std::fmt::Display for TraceShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+// Serialized as the lowercase label so the wire form, the CLI `--shapes`
+// vocabulary and the CSV column all share one spelling — a shape read
+// from a `/simulate` response can be echoed straight back into the next
+// request.
+impl Serialize for TraceShape {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.label().to_string())
+    }
+}
+
+impl Deserialize for TraceShape {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => TraceShape::parse(s).map_err(serde::Error::custom),
+            other => Err(serde::Error::custom(format!(
+                "expected a trace-shape string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gbs(x: f64) -> Rate {
+        Rate::from_gigabytes_per_sec(x)
+    }
+
+    #[test]
+    fn steady_is_a_plain_division() {
+        let t = BandwidthTrace::steady(gbs(2.0));
+        assert_eq!(t.finish_time(3.0, 4.0e9), 3.0 + 4.0e9 / 2.0e9);
+        assert_eq!(t.rate_at(0.0), 2.0e9);
+        assert_eq!(t.rate_at(1e9), 2.0e9);
+        assert_eq!(t.mean_rate(10.0), 2.0e9);
+    }
+
+    #[test]
+    fn outage_stalls_then_resumes() {
+        let t = TraceShape::Outage.build(gbs(1.0), 10.0, 0);
+        // 2.5 GB fit before the outage at t=2.5; the next byte waits
+        // until t=6.0.
+        assert_eq!(t.finish_time(0.0, 2.5e9), 2.5);
+        assert_eq!(t.finish_time(0.0, 3.5e9), 7.0);
+        assert_eq!(t.rate_at(3.0), 0.0);
+        assert!((t.mean_rate(10.0) - 0.65e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn capped_and_shared_rates() {
+        let t = BandwidthTrace::steady(gbs(4.0));
+        // Split 4 ways: 1 GB/s per share.
+        assert_eq!(t.capped_finish_time(0.0, 1.0e9, 4.0, f64::INFINITY), 1.0);
+        // A 0.5 GB/s downstream stage bounds the pipeline.
+        assert_eq!(t.capped_finish_time(0.0, 1.0e9, 1.0, 0.5e9), 2.0);
+    }
+
+    #[test]
+    fn zero_bytes_finish_immediately() {
+        let t = BandwidthTrace::steady(gbs(1.0));
+        assert_eq!(t.finish_time(7.5, 0.0), 7.5);
+    }
+
+    #[test]
+    fn start_mid_segment_integrates_correctly() {
+        let t = BandwidthTrace::from_segments(&[(0.0, gbs(1.0)), (2.0, gbs(0.5))]).unwrap();
+        // Start at t=1: 1 GB in the first second, then 0.5 GB/s.
+        assert_eq!(t.finish_time(1.0, 2.0e9), 4.0);
+        // Start after the boundary entirely.
+        assert_eq!(t.finish_time(3.0, 1.0e9), 5.0);
+    }
+
+    #[test]
+    fn diurnal_mean_is_documented_55_percent() {
+        let t = TraceShape::Diurnal.build(gbs(1.0), 8.0, 0);
+        let mean = t.mean_rate(8.0);
+        assert!(
+            (mean - 0.55e9).abs() < 0.01e9,
+            "diurnal mean {mean} far from 55% of base"
+        );
+        // Rates stay within the documented envelope.
+        for k in 0..128 {
+            let r = t.rate_at(8.0 * k as f64 / 128.0);
+            assert!((0.1e9 - 1.0..=1.0e9 + 1.0).contains(&r), "rate {r}");
+        }
+    }
+
+    #[test]
+    fn bursty_is_deterministic_in_seed() {
+        let a = TraceShape::Bursty.build(gbs(1.0), 4.0, 42);
+        let b = TraceShape::Bursty.build(gbs(1.0), 4.0, 42);
+        assert_eq!(a, b);
+        let c = TraceShape::Bursty.build(gbs(1.0), 4.0, 43);
+        assert_ne!(a, c, "different seeds should place dips differently");
+        // Roughly a quarter of the slots dip.
+        let dips = (0..256)
+            .filter(|k| a.rate_at(4.0 * 8.0 * *k as f64 / 256.0) < 0.9e9)
+            .count();
+        assert!((32..96).contains(&dips), "dip count {dips} out of range");
+    }
+
+    #[test]
+    fn shapes_round_trip_labels() {
+        for shape in TraceShape::ALL {
+            assert_eq!(TraceShape::parse(shape.label()), Ok(shape));
+            assert_eq!(shape.to_string(), shape.label());
+        }
+        assert!(TraceShape::parse("tsunami").is_err());
+    }
+
+    #[test]
+    fn invalid_segments_rejected() {
+        assert!(BandwidthTrace::from_segments(&[]).is_err());
+        assert!(BandwidthTrace::from_segments(&[(1.0, gbs(1.0))]).is_err());
+        assert!(BandwidthTrace::from_segments(&[(0.0, gbs(1.0)), (0.0, gbs(2.0))]).is_err());
+        assert!(
+            BandwidthTrace::from_segments(&[(0.0, Rate::ZERO)]).is_err(),
+            "an all-zero trace would never terminate"
+        );
+        assert!(
+            BandwidthTrace::from_segments(&[(0.0, Rate::from_bytes_per_sec(f64::NAN))]).is_err()
+        );
+    }
+
+    #[test]
+    fn scaled_divides_every_segment() {
+        let t = TraceShape::Outage.build(gbs(2.0), 10.0, 0).scaled(0.5);
+        assert_eq!(t.rate_at(0.0), 1.0e9);
+        assert_eq!(t.rate_at(3.0), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = TraceShape::Diurnal.build(gbs(1.0), 4.0, 7);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: BandwidthTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+        // One spelling everywhere: wire form == label == CLI vocabulary.
+        assert_eq!(
+            serde_json::to_string(&TraceShape::Bursty).unwrap(),
+            "\"bursty\""
+        );
+        for shape in TraceShape::ALL {
+            let json = serde_json::to_string(&shape).unwrap();
+            let round: TraceShape = serde_json::from_str(&json).unwrap();
+            assert_eq!(round, shape);
+        }
+        assert!(serde_json::from_str::<TraceShape>("\"tsunami\"").is_err());
+    }
+}

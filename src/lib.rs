@@ -11,9 +11,10 @@
 //! | crate | role |
 //! |---|---|
 //! | [`sss_core`] | the decision model: `T_pct` (Eq. 3–10), Streaming Speed Score (Eq. 11), the batched SoA evaluation engine, break-even boundaries, latency tiers, regime maps |
+//! | [`sss_sim`] | the shared discrete-event kernel: clocks, deterministic event queue, time-varying WAN bandwidth traces |
 //! | [`sss_netsim`] | packet-level network simulator (TCP CUBIC/Reno + SACK + HyStart, drop-tail queues) standing in for the paper's 25 Gbps testbed |
-//! | [`sss_loadgen`] | iperf3-style congestion workload orchestration (Table 2's grid, batch vs scheduled spawning) |
-//! | [`sss_iosim`] | PFS + DTN staging pipelines vs memory streaming (Figure 4's APS→ALCF scenario) |
+//! | [`sss_loadgen`] | iperf3-style congestion workload orchestration (Table 2's grid, batch vs scheduled spawning) plus the trace-driven `SessionReplay` model validator |
+//! | [`sss_iosim`] | PFS + DTN staging pipelines vs memory streaming (Figure 4's APS→ALCF scenario), both as analytic recurrences and as event-driven processes |
 //! | [`sss_stats`] | tail-latency statistics: ECDF, P², histograms, bootstrap |
 //! | [`sss_exec`] | deterministic parallel sweep executor |
 //! | [`sss_units`] | typed quantities (GB vs Gb/s vs TFLOPS confusion is a compile error) |
@@ -54,6 +55,7 @@ pub use sss_loadgen as loadgen;
 pub use sss_netsim as netsim;
 pub use sss_report as report;
 pub use sss_server as server;
+pub use sss_sim as sim;
 pub use sss_stats as stats;
 pub use sss_units as units;
 
@@ -67,15 +69,17 @@ pub mod prelude {
     };
     pub use sss_exec::ThreadPool;
     pub use sss_iosim::{
-        presets, FileBasedPipeline, FrameSource, MovementResult, StreamingPipeline,
+        presets, EventFileBasedPipeline, EventStreamingPipeline, FileBasedPipeline, FrameSource,
+        MovementResult, StreamingPipeline,
     };
     pub use sss_loadgen::{
-        frontier_csv, frontier_table, run_http_load, summary_table, sweep, Experiment,
-        ExperimentResult, FrontierJob, HttpLoadSpec, ScenarioEvaluation, ScenarioSuite,
-        SpawnStrategy, SuiteConfig, SweepSpec,
+        frontier_csv, frontier_table, replay_table, run_http_load, summary_table, sweep,
+        Experiment, ExperimentResult, FrontierJob, HttpLoadSpec, ReplayConfig, ReplayReport,
+        ScenarioEvaluation, ScenarioSuite, SessionReplay, SpawnStrategy, SuiteConfig, SweepSpec,
     };
     pub use sss_netsim::{FlowSpec, SimConfig, SimTime, Simulator};
     pub use sss_server::{Server, ServerConfig};
+    pub use sss_sim::{BandwidthTrace, EventQueue, TraceShape};
     pub use sss_stats::{Ecdf, Summary, TailMetrics};
     pub use sss_units::{Bytes, ComputeIntensity, FlopRate, Flops, Rate, Ratio, TimeDelta};
 }

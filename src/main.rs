@@ -4,6 +4,7 @@
 //! stream-score decide --data 2GB --intensity 17TF/GB --local 10TF \
 //!                     --remote 340TF --bw 25Gbps --alpha 0.8 [--theta 1.5]
 //! stream-score scenarios            # evaluate every bundled facility scenario
+//! stream-score simulate             # trace-driven replay vs the closed-form model
 //! stream-score frontier --scenario lcls2 --x wan_gbps:1:400 --y data_tb:0.1:100
 //! stream-score probe [--seconds 3]  # mini congestion sweep on the testbed model
 //! stream-score tiers --data 2GB --intensity 17TF/GB --local 10TF \
@@ -23,12 +24,14 @@ use stream_score::core::planner::plan_for_tier;
 use stream_score::core::sensitivity::Sensitivity;
 use stream_score::core::EvalEngine;
 use stream_score::loadgen::{
-    boundary_csv, frontier_csv, frontier_table, loadtest_table, run_http_load, FrontierJob,
-    HttpLoadSpec,
+    boundary_csv, frontier_csv, frontier_table, loadtest_table, replay_csv, replay_summary_table,
+    replay_table, run_http_load, FrontierJob, HttpLoadSpec, ReplayConfig, SessionReplay,
+    STEADY_TOLERANCE,
 };
 use stream_score::prelude::*;
 use stream_score::report::CharGrid;
 use stream_score::server::{Server, ServerConfig};
+use stream_score::sim::TraceShape;
 
 fn usage() -> &'static str {
     "stream-score — to stream or not to stream?\n\
@@ -44,6 +47,10 @@ fn usage() -> &'static str {
                               [--engine batched|scalar] [--chunk <N>]\n\
                               [--levels 1,4,8] [--seconds <N>]\n\
                               [--seed <N>] [--format text|md]\n\
+       stream-score simulate  [--scenario <ID>] [--shapes steady,diurnal,bursty,outage]\n\
+                              [--frames <N>] [--files <N>] [--seed <N>]\n\
+                              [--mode parallel|sequential] [--workers <N>]\n\
+                              [--format text|md|csv] [--check true]\n\
        stream-score frontier  --scenario <ID> | (same flags as decide)\n\
                               --x <AXIS:LO:HI[:log]> --y <AXIS:LO:HI[:log]>\n\
                               [--z <AXIS:LO:HI[:log]> --slices <N>]\n\
@@ -65,7 +72,8 @@ fn usage() -> &'static str {
                            --remote 340TF --bw 25Gbps --alpha 0.8\n\
        stream-score tiers  --data 2GB --intensity 17TF/GB --local 10TF \\\n\
                            --remote 340TF --bw 25Gbps --alpha 0.8 --sss 7.5\n\
-       stream-score frontier --scenario lcls2 --x wan_gbps:1:400 --y data_tb:0.1:100\n"
+       stream-score frontier --scenario lcls2 --x wan_gbps:1:400 --y data_tb:0.1:100\n\
+       stream-score simulate --scenario lcls2 --shapes steady,outage\n"
 }
 
 /// Parse `--key value` pairs, naming the offending flag on malformed or
@@ -354,6 +362,110 @@ fn cmd_scenarios(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `stream-score simulate`: replay scenarios through the event-driven
+/// simulator under time-varying WAN traces and report how far (and where)
+/// the closed-form model drifts from the simulated ground truth.
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mut config = ReplayConfig::standard(42);
+    if let Some(shapes) = flags.get("shapes") {
+        config.shapes = shapes
+            .split(',')
+            .map(|s| TraceShape::parse(s.trim()))
+            .collect::<Result<Vec<TraceShape>, String>>()?;
+    }
+    config.frames = flag_or(flags, "frames", config.frames)?;
+    config.files = flag_or(flags, "files", config.files)?;
+    config.seed = flag_or(flags, "seed", config.seed)?;
+    config.validate()?;
+
+    let format = flags.get("format").map(String::as_str);
+    if !matches!(format, Some("md") | Some("csv") | Some("text") | None) {
+        return Err(format!(
+            "unknown format {:?} (use text, md or csv)",
+            format.unwrap_or_default()
+        ));
+    }
+    let check = match flags.get("check").map(String::as_str) {
+        Some("true") => true,
+        Some("false") | None => false,
+        Some(other) => return Err(format!("bad --check {other:?} (use true or false)")),
+    };
+
+    let replay = match flags.get("scenario") {
+        Some(query) => SessionReplay::new(vec![Scenario::resolve(query)?], config),
+        None => SessionReplay::bundled(config),
+    };
+    let report = match flags.get("mode").map(String::as_str) {
+        Some("sequential") => {
+            if flags.contains_key("workers") {
+                return Err("--workers conflicts with --mode sequential".into());
+            }
+            replay.run_sequential()
+        }
+        Some("parallel") | None => {
+            let pool = match parse_workers(flags)? {
+                Some(n) => ThreadPool::new(n),
+                None => ThreadPool::with_available_parallelism(),
+            };
+            replay.run(&pool)
+        }
+        Some(other) => {
+            return Err(format!(
+                "unknown mode {other:?} (use parallel or sequential)"
+            ))
+        }
+    };
+
+    match format {
+        Some("csv") => print!("{}", replay_csv(&report).as_str()),
+        _ => {
+            let cells = replay_table(&report);
+            let shapes = replay_summary_table(&report);
+            if format == Some("md") {
+                print!("{}", cells.to_markdown());
+                print!("{}", shapes.to_markdown());
+            } else {
+                print!("{}", cells.to_text());
+                print!("{}", shapes.to_text());
+            }
+            println!(
+                "decision agreement {:.1}% over {} cells ({} scenarios x {} traces)",
+                report.overall_agreement() * 100.0,
+                report.records.len(),
+                replay.scenarios().len(),
+                replay.config().shapes.len(),
+            );
+        }
+    }
+
+    if check {
+        let steady = report
+            .shape_summary(TraceShape::Steady)
+            .ok_or("--check needs the steady shape in --shapes")?;
+        if steady.max_rel_err > STEADY_TOLERANCE {
+            return Err(format!(
+                "steady-trace replay drifted {} from the closed form (tolerance {})",
+                steady.max_rel_err, STEADY_TOLERANCE
+            ));
+        }
+        if steady.agreement < 1.0 {
+            return Err(format!(
+                "steady-trace replay disagrees with the model on {:.1}% of scenarios",
+                (1.0 - steady.agreement) * 100.0
+            ));
+        }
+        // The confirmation is human-facing chatter; never append it to
+        // machine-readable CSV output.
+        if format != Some("csv") {
+            println!(
+                "check passed: steady max err {:.2e} <= {STEADY_TOLERANCE:.0e}, agreement 100%",
+                steady.max_rel_err
+            );
+        }
+    }
+    Ok(())
+}
+
 /// Glyph for one frontier cell.
 fn decision_glyph(d: Decision) -> char {
     match d {
@@ -620,7 +732,10 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         config.cache_capacity,
         config.max_batch
     );
-    println!("endpoints: POST /decide, POST /tiers, POST /frontier, GET /scenarios, GET /healthz");
+    println!(
+        "endpoints: POST /decide, POST /tiers, POST /frontier, POST /simulate, \
+         GET /scenarios, GET /healthz"
+    );
     server.run().map_err(|e| format!("server failed: {e}"))
 }
 
@@ -709,6 +824,7 @@ fn main() -> ExitCode {
         "tiers" => cmd_tiers(&flags),
         "plan" => cmd_plan(&flags),
         "scenarios" => cmd_scenarios(&flags),
+        "simulate" => cmd_simulate(&flags),
         "frontier" => cmd_frontier(&flags),
         "probe" => cmd_probe(&flags),
         "serve" => cmd_serve(&flags),

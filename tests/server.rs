@@ -155,6 +155,52 @@ fn keep_alive_serves_many_requests_per_connection() {
 }
 
 #[test]
+fn simulate_replays_a_workload_with_memoized_bodies() {
+    let handle = start(2, 64);
+    let addr = handle.addr();
+
+    let body =
+        format!(r#"{{"workload":{TABLE3},"shapes":["steady","outage"],"frames":16,"files":4}}"#);
+    let (status, first) = call(addr, "POST", "/simulate", &body);
+    assert_eq!(status, 200, "{first}");
+    assert!(first.contains("\"records\""), "{first}");
+    // Shapes serialize as their lowercase labels, so a response's shape
+    // field can be echoed straight back into a follow-up request.
+    assert!(
+        first.contains("\"steady\"") && first.contains("\"outage\""),
+        "{first}"
+    );
+
+    // The repeat is served from the body cache, byte-identically.
+    let (status, second) = call(addr, "POST", "/simulate", &body);
+    assert_eq!(status, 200);
+    assert_eq!(first, second, "cache hits must return the miss's bytes");
+    let h = health(addr);
+    // A cold key counts two misses: the initial lookup plus the
+    // single-flight re-check after winning the compute claim (the same
+    // accounting /frontier uses).
+    assert_eq!(h.simulate_cache.misses, 2);
+    assert_eq!(h.simulate_cache.hits, 1);
+    assert_eq!(h.simulate_cache.entries, 1);
+
+    // Bad shape names and oversized grids are 400s, not panics.
+    let bad = format!(r#"{{"workload":{TABLE3},"shapes":["tsunami"]}}"#);
+    let (status, body) = call(addr, "POST", "/simulate", &bad);
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown trace shape"), "{body}");
+    let oversized = format!(r#"{{"workload":{TABLE3},"frames":100000}}"#);
+    let (status, body) = call(addr, "POST", "/simulate", &oversized);
+    assert_eq!(status, 400);
+    assert!(body.contains("cap"), "{body}");
+
+    // Unsupported methods are 405, never 404.
+    let (status, _) = call(addr, "GET", "/simulate", "");
+    assert_eq!(status, 405);
+
+    handle.shutdown();
+}
+
+#[test]
 fn cache_accounts_hits_and_misses() {
     let handle = start(2, 256);
     let addr = handle.addr();
