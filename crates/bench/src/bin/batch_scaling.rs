@@ -62,6 +62,8 @@ fn stream_bandwidth_gb_s(n: usize) -> f64 {
     let mut b = vec![0.0f64; n];
     let mut best = f64::INFINITY;
     for _ in 0..3 {
+        #[allow(clippy::disallowed_methods)]
+        // sss-lint: allow(D002, bench measures real elapsed time by design)
         let start = Instant::now();
         for i in 0..n {
             b[i] = a[i] * 2.0;
@@ -143,6 +145,8 @@ fn main() {
         // Best of `repeats`: throughput benches want the undisturbed run.
         let mut best = f64::INFINITY;
         for _ in 0..repeats {
+            #[allow(clippy::disallowed_methods)]
+            // sss-lint: allow(D002, bench measures real elapsed time by design)
             let start = Instant::now();
             let sink = f();
             best = best.min(start.elapsed().as_secs_f64());

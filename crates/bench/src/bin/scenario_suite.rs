@@ -15,7 +15,7 @@ fn main() {
     } else {
         SuiteConfig::standard(seed())
     };
-    let suite = ScenarioSuite::bundled(config);
+    let suite = ScenarioSuite::bundled(config).expect("bundled SuiteConfig is valid");
     let pool = ThreadPool::with_available_parallelism();
     eprintln!(
         "evaluating {} scenarios × {} congestion levels on {} workers...",

@@ -19,7 +19,7 @@ fn main() {
     } else {
         ReplayConfig::standard(seed())
     };
-    let replay = SessionReplay::bundled(config);
+    let replay = SessionReplay::bundled(config).expect("bundled ReplayConfig is valid");
     let pool = ThreadPool::with_available_parallelism();
     eprintln!(
         "replaying {} scenarios x {} trace shapes on {} workers...",

@@ -105,7 +105,9 @@ pub(crate) mod kernel {
     /// for every constructible parameter set (e.g. `C = 0` workloads).
     #[inline(always)]
     pub(crate) fn guarded_ratio(num: f64, den: f64) -> f64 {
+        // sss-lint: allow(D004, exact-zero guard mirrors the scalar kernel bit for bit)
         if den == 0.0 {
+            // sss-lint: allow(D004, 0/0 is defined as ratio 1; exact test intended)
             if num == 0.0 {
                 1.0
             } else {

@@ -72,6 +72,7 @@ impl TransferEfficiencyDistribution {
                 }
             }
             TransferEfficiencyDistribution::TruncatedNormal { mean, sd } => {
+                // sss-lint: allow(D004, sd=0 degenerates to a point mass; exact test intended)
                 if sd == 0.0 {
                     return mean;
                 }

@@ -1,0 +1,161 @@
+//! The checked-in baseline of grandfathered findings.
+//!
+//! Format: one entry per line, `RULE<TAB>file:line<TAB>note`, `#` comments
+//! and blank lines ignored. The note is free text for the reader; matching
+//! uses only `RULE file:line`. A baseline entry that no longer matches any
+//! finding is reported as `X002` (stale baseline entry), which keeps the
+//! committed baseline exactly minimal: the file never outlives the debt it
+//! documents.
+
+use std::collections::BTreeSet;
+
+use crate::Finding;
+
+/// One parsed baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    /// Rule code of the grandfathered finding.
+    pub rule: String,
+    /// `file:line` anchor, workspace-relative with forward slashes.
+    pub anchor: String,
+    /// Free-text note carried in the file.
+    pub note: String,
+    /// 1-based line in the baseline file (for X002 diagnostics).
+    pub file_line: u32,
+}
+
+impl Entry {
+    fn key(&self) -> String {
+        format!("{} {}", self.rule, self.anchor)
+    }
+}
+
+/// Parse baseline text. Malformed lines are returned as error strings
+/// rather than silently skipped — a typo must not un-grandfather a site.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let (rule, anchor) = match (parts.next(), parts.next()) {
+            (Some(rule), Some(anchor)) if !rule.is_empty() && anchor.contains(':') => {
+                (rule, anchor)
+            }
+            _ => {
+                return Err(format!(
+                    "baseline line {}: expected `RULE<TAB>file:line[<TAB>note]`, got {line:?}",
+                    idx + 1
+                ))
+            }
+        };
+        entries.push(Entry {
+            rule: rule.to_string(),
+            anchor: anchor.to_string(),
+            note: parts.next().unwrap_or("").to_string(),
+            file_line: (idx + 1) as u32,
+        });
+    }
+    Ok(entries)
+}
+
+/// Split findings into (non-baselined, baselined) and append an `X002`
+/// finding for every stale baseline entry.
+pub fn apply(
+    findings: Vec<Finding>,
+    entries: &[Entry],
+    baseline_path: &str,
+) -> (Vec<Finding>, Vec<Finding>) {
+    let keys: BTreeSet<String> = entries.iter().map(Entry::key).collect();
+    let mut fresh = Vec::new();
+    let mut matched: BTreeSet<String> = BTreeSet::new();
+    let mut grandfathered = Vec::new();
+    for finding in findings {
+        let key = format!("{} {}:{}", finding.rule, finding.file, finding.line);
+        if keys.contains(&key) {
+            matched.insert(key);
+            grandfathered.push(finding);
+        } else {
+            fresh.push(finding);
+        }
+    }
+    for entry in entries {
+        if !matched.contains(&entry.key()) {
+            fresh.push(Finding {
+                rule: "X002".to_string(),
+                file: baseline_path.to_string(),
+                line: entry.file_line,
+                message: format!(
+                    "stale baseline entry `{} {}`: no such finding anymore — delete the line",
+                    entry.rule, entry.anchor
+                ),
+            });
+        }
+    }
+    (fresh, grandfathered)
+}
+
+/// Render findings in baseline format (for `--write-baseline`).
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# sss-lint baseline: grandfathered findings, one per line.\n\
+         # Format: RULE<TAB>file:line<TAB>note. Fix the site, then delete its line;\n\
+         # stale entries fail the lint (X002) so this file stays minimal.\n",
+    );
+    for f in findings {
+        out.push_str(&format!(
+            "{}\t{}:{}\t{}\n",
+            f.rule, f.file, f.line, f.message
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, file: &str, line: u32) -> Finding {
+        Finding {
+            rule: rule.into(),
+            file: file.into(),
+            line,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn round_trip_and_match() {
+        let text = "# comment\nL001\tcrates/a/src/x.rs:10\tgrandfathered\n";
+        let entries = parse(text).unwrap();
+        assert_eq!(entries.len(), 1);
+        let (fresh, old) = apply(
+            vec![
+                finding("L001", "crates/a/src/x.rs", 10),
+                finding("D004", "y.rs", 2),
+            ],
+            &entries,
+            "sss-lint.baseline",
+        );
+        assert_eq!(old.len(), 1);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].rule, "D004");
+    }
+
+    #[test]
+    fn stale_entries_surface_as_x002() {
+        let entries = parse("L001\tgone.rs:1\told\n").unwrap();
+        let (fresh, old) = apply(Vec::new(), &entries, "sss-lint.baseline");
+        assert!(old.is_empty());
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].rule, "X002");
+        assert_eq!(fresh[0].line, 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(parse("not a baseline line\n").is_err());
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture (context: core). Order-safe hash usage: no findings.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn render(table: BTreeMap<String, f64>) -> String {
+    let mut out = String::new();
+    for (k, v) in table.iter() {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+pub fn lookup(cache: HashMap<String, f64>, key: &str) -> Option<f64> {
+    // Point lookups never observe iteration order.
+    cache.get(key).copied()
+}
+
+pub fn doc() -> &'static str {
+    "calling table.iter() on a HashMap would be flagged, but this is a string"
+}

@@ -1,0 +1,18 @@
+// Fixture (context: core). Hash-order iteration feeding output: two hits.
+use std::collections::{HashMap, HashSet};
+
+pub fn render(table: HashMap<String, f64>) -> String {
+    let mut out = String::new();
+    for (k, v) in table.iter() {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+pub fn count_ids(seen: HashSet<u32>) -> Vec<u32> {
+    let mut ids = Vec::new();
+    for id in &seen {
+        ids.push(*id);
+    }
+    ids
+}

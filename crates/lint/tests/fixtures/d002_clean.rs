@@ -1,0 +1,19 @@
+// Fixture (context: sim). Wall-clock tokens in non-code positions plus a
+// justified measurement site: no findings.
+
+/* A block comment /* with nesting */ mentioning Instant::now() and
+   SystemTime is commentary, not code. */
+
+pub fn describe() -> &'static str {
+    "call Instant::now() or SystemTime::now() at your peril"
+}
+
+pub fn raw_doc() -> &'static str {
+    r#"raw string: Instant::now() stays data"#
+}
+
+pub fn measured_s() -> f64 {
+    // sss-lint: allow(D002, fixture models an explicit latency measurement)
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,7 @@
+// Fixture (context: sim). Wall-clock reads in a simulation crate: two hits.
+use std::time::SystemTime;
+
+pub fn stamp_s() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,17 @@
+// Fixture (context: stats). Seeded draws, string mentions, and test-only
+// ambient entropy: no findings.
+pub fn seeded(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+pub fn doc() -> &'static str {
+    "thread_rng() and from_entropy() and OsRng are fine inside a string"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_ambient_entropy() {
+        let _ = rand::thread_rng();
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture (context: stats). Ambient entropy outside an entry point: two hits.
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.random_range(0.0..1.0)
+}
+
+pub fn fresh_rng() -> rand::rngs::SmallRng {
+    rand::rngs::SmallRng::from_entropy()
+}

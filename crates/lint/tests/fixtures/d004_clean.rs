@@ -1,0 +1,21 @@
+// Fixture (context: units). Bit-parity, tolerances, integer equality and
+// test-only exact comparison: no findings.
+pub fn bit_equal(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+pub fn at_origin(i: usize) -> bool {
+    i == 0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_compare_floats_exactly() {
+        assert!(super::close(0.5, 0.5) && 0.5 == 0.5);
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture (context: units). Exact float comparisons: two hits.
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn differs(x: f64) -> bool {
+    x != 1.5
+}

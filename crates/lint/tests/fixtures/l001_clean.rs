@@ -1,0 +1,8 @@
+// Fixture (context: server). Downward imports only: no findings.
+use sss_core::ModelParams;
+use sss_report::Table;
+
+pub fn shape(params: &ModelParams) -> (Table, &'static str) {
+    let _ = params;
+    (Table::default(), "sss_server may depend on anything below it")
+}

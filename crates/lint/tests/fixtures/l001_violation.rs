@@ -1,0 +1,6 @@
+// Fixture (context: core). Upward and lateral imports: two hits.
+use sss_server::ServeOptions;
+
+pub fn peek() -> u32 {
+    sss_netsim::PROBE_COUNT
+}

@@ -1,0 +1,17 @@
+// Fixture (context: server). Graceful error handling, string mentions and
+// test-only unwraps: no findings.
+pub fn handle(body: &str) -> Result<String, String> {
+    let parsed: u32 = body
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad body: {e}"))?;
+    Ok(format!("parsed {parsed} without .unwrap() or .expect(\"…\")"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        super::handle("7").unwrap();
+    }
+}

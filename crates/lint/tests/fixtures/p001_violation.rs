@@ -1,0 +1,6 @@
+// Fixture (context: server). Panics on a request-handling path: two hits.
+pub fn handle(body: &str) -> String {
+    let parsed: u32 = body.trim().parse().unwrap();
+    let mode = std::env::var("SSS_MODE").expect("SSS_MODE is set");
+    format!("{parsed}:{mode}")
+}

@@ -1,0 +1,11 @@
+// Fixture (context: units). Malformed suppressions: two X001 hits (and the
+// unpragma'd comparison underneath the bad pragma still fires as D004).
+pub fn misuse(x: f64) -> bool {
+    // sss-lint: allow(D004)
+    x == 0.25
+}
+
+pub fn unknown(x: f64) -> bool {
+    // sss-lint: allow(Z999, no such rule)
+    x == 0.75
+}

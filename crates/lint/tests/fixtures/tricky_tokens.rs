@@ -1,0 +1,25 @@
+// Fixture (context: sim). Every forbidden token appears only in non-code
+// positions — strings, raw strings at several hash depths, nested block
+// comments, char literals — so nothing may fire.
+
+/* Outer /* nested /* twice */ */ comment: Instant::now(), SystemTime,
+   thread_rng(), from_entropy(), OsRng, x == 0.0, y != 1.5,
+   table.iter(), for k in keys {}, .unwrap(), .expect("boom"),
+   sss_server::PORT — none of this is code. */
+
+pub fn strings() -> Vec<String> {
+    vec![
+        "Instant::now() and SystemTime::now()".to_string(),
+        "thread_rng() and from_entropy() and OsRng".to_string(),
+        "x == 0.0 and y != 1.5".to_string(),
+        ".unwrap() and .expect(\"boom\")".to_string(),
+        r#"raw: HashMap::new() then cache.iter() then sss_server::run()"#.to_string(),
+        r##"deeper raw keeps "#-terminators inert: Instant::now()"##.to_string(),
+        b"byte string: SystemTime::now()".escape_ascii().to_string(),
+    ]
+}
+
+pub fn lifetimes_and_chars<'a>(x: &'a str) -> (char, &'a str) {
+    // A char literal is not a lifetime and not an operator.
+    ('=', x)
+}

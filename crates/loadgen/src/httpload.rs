@@ -171,6 +171,8 @@ fn run_client(
         // Stripe the pool across clients so concurrent requests mix
         // workloads instead of marching in lockstep.
         let body = &bodies[(client + k * spec.clients) % bodies.len()];
+        #[allow(clippy::disallowed_methods)]
+        // sss-lint: allow(D002, closed-loop latency of a real server is wall-clock by definition; never feeds simulation state)
         let started = Instant::now();
         write!(
             writer,
@@ -201,9 +203,14 @@ pub fn run_http_load(spec: &HttpLoadSpec) -> Result<HttpLoadReport, String> {
     let bodies: Vec<String> = spec
         .workloads()
         .iter()
-        .map(|p| serde_json::to_string(&ModelParamsBody::from(p)).expect("request body serializes"))
-        .collect();
+        .map(|p| {
+            serde_json::to_string(&ModelParamsBody::from(p))
+                .map_err(|e| format!("serializing request body: {e}"))
+        })
+        .collect::<Result<_, String>>()?;
 
+    #[allow(clippy::disallowed_methods)]
+    // sss-lint: allow(D002, wall-clock throughput measurement of a real server; never feeds simulation state)
     let started = Instant::now();
     let outcomes: Vec<Result<ClientOutcome, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..spec.clients)
@@ -216,7 +223,10 @@ pub fn run_http_load(spec: &HttpLoadSpec) -> Result<HttpLoadReport, String> {
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("client thread completes"))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("client thread panicked".to_string()))
+            })
             .collect()
     });
     let elapsed_s = started.elapsed().as_secs_f64();

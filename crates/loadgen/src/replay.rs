@@ -186,15 +186,19 @@ pub struct SessionReplay {
 impl SessionReplay {
     /// Replay over an explicit scenario list.
     ///
-    /// # Panics
-    /// Panics on an invalid [`ReplayConfig`].
-    pub fn new(scenarios: Vec<Scenario>, config: ReplayConfig) -> Self {
-        config.validate().expect("invalid ReplayConfig");
-        SessionReplay { scenarios, config }
+    /// # Errors
+    /// Fails on an invalid [`ReplayConfig`] — `/simulate` turns this into
+    /// a 400 instead of panicking the connection.
+    pub fn new(scenarios: Vec<Scenario>, config: ReplayConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(SessionReplay { scenarios, config })
     }
 
     /// Replay over every scenario in [`Scenario::registry`].
-    pub fn bundled(config: ReplayConfig) -> Self {
+    ///
+    /// # Errors
+    /// Fails on an invalid [`ReplayConfig`].
+    pub fn bundled(config: ReplayConfig) -> Result<Self, String> {
         Self::new(Scenario::all(), config)
     }
 
@@ -445,7 +449,7 @@ mod tests {
 
     #[test]
     fn steady_replay_matches_the_closed_form() {
-        let replay = SessionReplay::bundled(ReplayConfig::quick(42));
+        let replay = SessionReplay::bundled(ReplayConfig::quick(42)).unwrap();
         let report = replay.run_sequential();
         let steady = report.shape_summary(TraceShape::Steady).unwrap();
         assert!(
@@ -462,7 +466,7 @@ mod tests {
     #[test]
     fn replay_covers_every_cell() {
         let config = ReplayConfig::quick(7);
-        let replay = SessionReplay::new(two_scenarios(), config.clone());
+        let replay = SessionReplay::new(two_scenarios(), config.clone()).unwrap();
         let report = replay.run_sequential();
         assert_eq!(report.records.len(), 2 * config.shapes.len());
         assert_eq!(report.shapes.len(), config.shapes.len());
@@ -475,7 +479,7 @@ mod tests {
 
     #[test]
     fn parallel_and_sequential_are_bit_identical() {
-        let replay = SessionReplay::new(two_scenarios(), ReplayConfig::quick(42));
+        let replay = SessionReplay::new(two_scenarios(), ReplayConfig::quick(42)).unwrap();
         let par = replay.run(&ThreadPool::new(4));
         let seq = replay.run_sequential();
         assert_eq!(par, seq);
@@ -485,7 +489,7 @@ mod tests {
     fn degraded_traces_never_beat_the_model() {
         // The bundled shapes only remove bandwidth, so the simulated
         // transfer is never faster than the closed form's.
-        let replay = SessionReplay::bundled(ReplayConfig::quick(42));
+        let replay = SessionReplay::bundled(ReplayConfig::quick(42)).unwrap();
         for r in replay.run_sequential().records {
             assert!(
                 r.sim_transfer_s >= r.model_transfer_s * (1.0 - 1e-9),
@@ -500,7 +504,7 @@ mod tests {
 
     #[test]
     fn outage_inflates_error_beyond_steady() {
-        let replay = SessionReplay::bundled(ReplayConfig::quick(42));
+        let replay = SessionReplay::bundled(ReplayConfig::quick(42)).unwrap();
         let report = replay.run_sequential();
         let steady = report.shape_summary(TraceShape::Steady).unwrap();
         let outage = report.shape_summary(TraceShape::Outage).unwrap();
@@ -516,8 +520,12 @@ mod tests {
     #[test]
     fn seed_changes_only_bursty_cells() {
         let scenarios = two_scenarios();
-        let a = SessionReplay::new(scenarios.clone(), ReplayConfig::quick(1)).run_sequential();
-        let b = SessionReplay::new(scenarios, ReplayConfig::quick(2)).run_sequential();
+        let a = SessionReplay::new(scenarios.clone(), ReplayConfig::quick(1))
+            .unwrap()
+            .run_sequential();
+        let b = SessionReplay::new(scenarios, ReplayConfig::quick(2))
+            .unwrap()
+            .run_sequential();
         for (ra, rb) in a.records.iter().zip(&b.records) {
             if ra.shape == TraceShape::Bursty {
                 continue; // dip placement is seeded and may differ
@@ -532,7 +540,7 @@ mod tests {
 
     #[test]
     fn tables_and_csv_cover_all_cells() {
-        let replay = SessionReplay::new(two_scenarios(), ReplayConfig::quick(42));
+        let replay = SessionReplay::new(two_scenarios(), ReplayConfig::quick(42)).unwrap();
         let report = replay.run_sequential();
         assert_eq!(replay_table(&report).len(), report.records.len());
         assert_eq!(replay_summary_table(&report).len(), report.shapes.len());
@@ -543,7 +551,7 @@ mod tests {
 
     #[test]
     fn report_serde_round_trip() {
-        let replay = SessionReplay::new(two_scenarios(), ReplayConfig::quick(42));
+        let replay = SessionReplay::new(two_scenarios(), ReplayConfig::quick(42)).unwrap();
         let report = replay.run_sequential();
         let json = serde_json::to_string(&report).unwrap();
         let back: ReplayReport = serde_json::from_str(&json).unwrap();
@@ -551,10 +559,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid ReplayConfig")]
     fn zero_frames_rejected() {
         let mut config = ReplayConfig::quick(1);
         config.frames = 0;
-        let _ = SessionReplay::new(two_scenarios(), config);
+        let err = SessionReplay::new(two_scenarios(), config).unwrap_err();
+        assert!(err.contains("frames"), "{err}");
     }
 }

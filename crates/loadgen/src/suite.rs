@@ -175,15 +175,19 @@ pub struct ScenarioSuite {
 impl ScenarioSuite {
     /// Suite over an explicit scenario list.
     ///
-    /// # Panics
-    /// Panics on an invalid [`SuiteConfig`].
-    pub fn new(scenarios: Vec<Scenario>, config: SuiteConfig) -> Self {
-        config.validate().expect("invalid SuiteConfig");
-        ScenarioSuite { scenarios, config }
+    /// # Errors
+    /// Fails on an invalid [`SuiteConfig`] — callers on request paths
+    /// turn this into a 4xx/5xx instead of panicking the connection.
+    pub fn new(scenarios: Vec<Scenario>, config: SuiteConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(ScenarioSuite { scenarios, config })
     }
 
     /// Suite over every scenario in [`Scenario::registry`].
-    pub fn bundled(config: SuiteConfig) -> Self {
+    ///
+    /// # Errors
+    /// Fails on an invalid [`SuiteConfig`].
+    pub fn bundled(config: SuiteConfig) -> Result<Self, String> {
         Self::new(Scenario::all(), config)
     }
 
@@ -473,7 +477,7 @@ mod tests {
 
     #[test]
     fn suite_evaluates_every_scenario_and_level() {
-        let suite = ScenarioSuite::new(two_scenarios(), tiny_config());
+        let suite = ScenarioSuite::new(two_scenarios(), tiny_config()).unwrap();
         let evals = suite.run(&ThreadPool::new(4));
         assert_eq!(evals.len(), 2);
         for e in &evals {
@@ -489,7 +493,7 @@ mod tests {
 
     #[test]
     fn parallel_and_sequential_are_bit_identical() {
-        let suite = ScenarioSuite::new(two_scenarios(), tiny_config());
+        let suite = ScenarioSuite::new(two_scenarios(), tiny_config()).unwrap();
         let par = suite.run(&ThreadPool::new(4));
         let seq = suite.run_sequential();
         assert_eq!(par, seq);
@@ -497,7 +501,7 @@ mod tests {
 
     #[test]
     fn scalar_and_batched_engines_agree_for_any_chunk() {
-        let suite = ScenarioSuite::new(two_scenarios(), tiny_config());
+        let suite = ScenarioSuite::new(two_scenarios(), tiny_config()).unwrap();
         let pool = ThreadPool::new(4);
         let scalar = suite.run_with(Some(&pool), EvalEngine::Scalar, 1);
         for chunk in [1usize, 2, 64] {
@@ -510,7 +514,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "chunk size must be positive")]
     fn zero_chunk_rejected() {
-        let suite = ScenarioSuite::new(two_scenarios(), tiny_config());
+        let suite = ScenarioSuite::new(two_scenarios(), tiny_config()).unwrap();
         let _ = suite.run_with(None, EvalEngine::Batched, 0);
     }
 
@@ -537,7 +541,7 @@ mod tests {
 
     #[test]
     fn summary_table_has_one_row_per_scenario() {
-        let suite = ScenarioSuite::new(two_scenarios(), tiny_config());
+        let suite = ScenarioSuite::new(two_scenarios(), tiny_config()).unwrap();
         let evals = suite.run_sequential();
         let table = summary_table(&evals);
         assert_eq!(table.len(), evals.len());
@@ -548,10 +552,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid SuiteConfig")]
     fn zero_level_rejected() {
         let mut cfg = tiny_config();
         cfg.congestion_levels = vec![0];
-        let _ = ScenarioSuite::new(two_scenarios(), cfg);
+        let err = ScenarioSuite::new(two_scenarios(), cfg).unwrap_err();
+        assert!(err.contains("congestion"), "{err}");
     }
 }

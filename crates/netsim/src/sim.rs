@@ -226,6 +226,7 @@ impl Simulator {
         );
         let bytes = spec.bytes.as_b();
         assert!(
+            // sss-lint: allow(D004, fract()==0.0 is the exact integrality test)
             bytes >= 1.0 && bytes.fract() == 0.0 && bytes.is_finite(),
             "flow size must be a positive whole number of bytes, got {bytes}"
         );

@@ -31,6 +31,7 @@ pub struct CharGrid {
 /// scientific elsewhere.
 fn fmt_bound(v: f64) -> String {
     let a = v.abs();
+    // sss-lint: allow(D004, exact zero prints as "0"; formatting branch only)
     if a == 0.0 || (0.001..100_000.0).contains(&a) {
         format!("{v}")
     } else {

@@ -323,7 +323,6 @@ impl SimulateRequest {
             shapes,
             seed: self.seed,
         };
-        config.validate()?;
         let scenario = Scenario {
             id: "workload".into(),
             name: "POST /simulate workload".into(),
@@ -331,7 +330,7 @@ impl SimulateRequest {
             params,
             tier: Tier::NearRealTime,
         };
-        Ok(SessionReplay::new(vec![scenario], config))
+        SessionReplay::new(vec![scenario], config)
     }
 }
 

@@ -56,10 +56,20 @@ pub struct Batcher {
     max_observed: Arc<AtomicU64>,
 }
 
+/// Body served when an internal invariant breaks mid-request. A panic on
+/// the dispatcher thread would kill batching for every future request, so
+/// internal failures degrade to this body instead.
+const INTERNAL_ERROR_BODY: &str = r#"{"error":"internal: response pipeline failure"}"#;
+
 /// Serialize one evaluated response to its canonical body bytes.
+/// `DecideResponse` is a pure value type, so serialization cannot fail
+/// with the vendored serde_json — but if it ever does, the request gets
+/// an error body rather than panicking the dispatcher.
 fn serialize_body(response: &DecideResponse) -> Arc<str> {
-    let json = serde_json::to_string(response).expect("DecideResponse serializes");
-    Arc::from(json)
+    match serde_json::to_string(response) {
+        Ok(json) => Arc::from(json),
+        Err(_) => Arc::from(INTERNAL_ERROR_BODY),
+    }
 }
 
 /// Evaluate and serialize one workload — the scalar reference the batched
@@ -125,9 +135,13 @@ impl Batcher {
                 }
 
                 for (job, body) in jobs.into_iter().zip(bodies) {
-                    // A dropped receiver means the connection died while
-                    // queued; nothing to do.
-                    let _ = job.reply.send(body.expect("every job answered"));
+                    // Every job was answered by the cache pass or the miss
+                    // wave; if that invariant ever breaks, serve an error
+                    // body instead of panicking the dispatcher. A dropped
+                    // receiver means the connection died while queued;
+                    // nothing to do.
+                    let body = body.unwrap_or_else(|| Arc::from(INTERNAL_ERROR_BODY));
+                    let _ = job.reply.send(body);
                 }
             }
         });
@@ -142,8 +156,10 @@ impl Batcher {
     }
 
     /// Evaluate one workload through the batch pipeline, blocking until
-    /// its response body is ready.
-    pub fn submit(&self, params: ModelParams) -> Arc<str> {
+    /// its response body is ready. Fails (instead of panicking the
+    /// connection thread) if the dispatcher is gone — the caller turns
+    /// that into a 500 response.
+    pub fn submit(&self, params: ModelParams) -> Result<Arc<str>, String> {
         let (reply_tx, reply_rx) = mpsc::channel();
         let job = Job {
             key: CacheKey::of(&params),
@@ -152,10 +168,12 @@ impl Batcher {
         };
         self.tx
             .as_ref()
-            .expect("batcher running")
+            .ok_or_else(|| "batcher is shut down".to_string())?
             .send(job)
-            .expect("dispatcher alive");
-        reply_rx.recv().expect("dispatcher replies")
+            .map_err(|_| "batch dispatcher is gone".to_string())?;
+        reply_rx
+            .recv()
+            .map_err(|_| "batch dispatcher dropped the reply".to_string())
     }
 
     /// Current counters.
@@ -199,7 +217,7 @@ mod tests {
     fn single_request_round_trips() {
         let cache = Arc::new(DecisionCache::new(64));
         let batcher = Batcher::new(cache.clone(), 2, 8);
-        let body = batcher.submit(params(0.8));
+        let body = batcher.submit(params(0.8)).unwrap();
         assert!(body.contains("RemoteStream"), "{body}");
         assert_eq!(cache.stats().misses, 1);
     }
@@ -208,8 +226,8 @@ mod tests {
     fn repeat_requests_hit_the_cache() {
         let cache = Arc::new(DecisionCache::new(64));
         let batcher = Batcher::new(cache.clone(), 2, 8);
-        let first = batcher.submit(params(0.8));
-        let second = batcher.submit(params(0.8));
+        let first = batcher.submit(params(0.8)).unwrap();
+        let second = batcher.submit(params(0.8)).unwrap();
         assert!(Arc::ptr_eq(&first, &second), "hit must reuse the body");
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
@@ -225,7 +243,7 @@ mod tests {
                 .iter()
                 .map(|&a| {
                     let batcher = batcher.clone();
-                    scope.spawn(move || batcher.submit(params(a)))
+                    scope.spawn(move || batcher.submit(params(a)).unwrap())
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -246,7 +264,7 @@ mod tests {
             let cache = Arc::new(DecisionCache::new(0)); // force evaluation
             let batcher = Batcher::new(cache, workers, 16);
             (0..16)
-                .map(|i| batcher.submit(params(0.5 + 0.02 * i as f64)))
+                .map(|i| batcher.submit(params(0.5 + 0.02 * i as f64)).unwrap())
                 .collect()
         };
         let one = run(1);

@@ -44,6 +44,7 @@ pub struct CacheKey([u64; 7]);
 
 /// Quantize one component to 9 significant decimal digits.
 fn quantize(v: f64) -> u64 {
+    // sss-lint: allow(D004, ±0.0 must share a bucket; scientific formatting handles the rest)
     if v == 0.0 {
         return 0;
     }
@@ -75,6 +76,11 @@ fn shard_of<K: Hash>(key: &K) -> usize {
 }
 
 struct Shard<K> {
+    // Iteration order over this map never reaches a response: lookups are
+    // point `get`s, eviction order comes from `order` (a FIFO queue), and
+    // `stats()` only sums per-shard `len()`s. If that ever changes, swap
+    // in a BTreeMap or sort before emitting — D001 exists to catch it.
+    // sss-lint: allow(D001, point lookups only; order never feeds output)
     map: HashMap<K, Arc<str>>,
     // Insertion order for FIFO eviction. An entry is evicted when its
     // shard exceeds its share of the configured capacity.

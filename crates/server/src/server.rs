@@ -246,9 +246,14 @@ impl Server {
         let cache = Arc::new(DecisionCache::new(config.cache_capacity));
         let batcher = Batcher::new(cache.clone(), config.workers, config.max_batch);
         let scenarios_body: Arc<str> = Arc::from(
+            // Runs once at startup, before the listener serves: a panic
+            // here is a failed boot, not a dropped connection.
             serde_json::to_string(&ScenariosResponse::bundled())
-                .expect("scenario catalog serializes"),
+                .expect("scenario catalog serializes"), // sss-lint: allow(P001, bind-time panic is a failed boot, not a dropped connection)
         );
+        #[allow(clippy::disallowed_methods)]
+        // sss-lint: allow(D002, operator-facing /healthz uptime metric; never feeds simulation or decision output)
+        let started = Instant::now();
         Ok(Server {
             listener,
             state: Arc::new(AppState {
@@ -260,7 +265,7 @@ impl Server {
                 simulate_flight: SingleFlight::new(),
                 batcher,
                 scenarios_body,
-                started: Instant::now(),
+                started,
                 requests: AtomicU64::new(0),
                 config,
                 shutdown: Arc::new(AtomicBool::new(false)),
@@ -270,7 +275,9 @@ impl Server {
 
     /// The address the listener actually bound (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
-        self.listener.local_addr().expect("listener bound")
+        // A successfully bound TCP listener always has a local address;
+        // failure here means the socket itself is gone — a failed boot.
+        self.listener.local_addr().expect("listener bound") // sss-lint: allow(P001, bound listener always has a local address; failure is a failed boot)
     }
 
     /// Serve until [`ServerHandle::shutdown`] is called (from a handle
@@ -370,18 +377,28 @@ fn handle_connection(stream: TcpStream, state: &AppState) {
     let _ = writer.flush();
 }
 
+/// Body served when response serialization itself fails — which the
+/// vendored serde_json cannot do for these pure value types, but a panic
+/// on a connection thread would silently drop the connection, so the
+/// failure mode is an error body instead.
+const SERIALIZE_ERROR_BODY: &str = r#"{"error":"internal: response serialization failed"}"#;
+
+/// Serialize a response body, degrading to [`SERIALIZE_ERROR_BODY`]
+/// instead of panicking the connection thread.
+fn json_body<T: serde::Serialize>(value: &T) -> Arc<str> {
+    match serde_json::to_string(value) {
+        Ok(json) => Arc::from(json),
+        Err(_) => Arc::from(SERIALIZE_ERROR_BODY),
+    }
+}
+
 fn respond_error<W: Write>(writer: &mut W, status: u16, message: &str) -> std::io::Result<()> {
-    let body = serde_json::to_string(&ErrorResponse {
-        error: message.to_owned(),
-    })
-    .expect("error body serializes");
+    let body = error_body(message.to_owned());
     write_response(writer, status, body.as_bytes(), false)
 }
 
 fn error_body(message: String) -> Arc<str> {
-    Arc::from(
-        serde_json::to_string(&ErrorResponse { error: message }).expect("error body serializes"),
-    )
+    json_body(&ErrorResponse { error: message })
 }
 
 /// Dispatch one request to its endpoint, producing status and JSON body.
@@ -411,7 +428,10 @@ fn handle_decide(body: &[u8], state: &AppState) -> (u16, Arc<str>) {
         Ok(p) => p,
         Err(msg) => return (400, error_body(msg)),
     };
-    (200, state.batcher.submit(params))
+    match state.batcher.submit(params) {
+        Ok(body) => (200, body),
+        Err(e) => (500, error_body(format!("internal: {e}"))),
+    }
 }
 
 /// `POST /frontier`: parse the query, answer repeats from the memoized
@@ -435,7 +455,7 @@ fn handle_frontier(body: &[u8], state: &AppState) -> (u16, Arc<str>) {
     let key = FrontierKey::of(&request, job.base());
     let body = state.frontier_flight.serve(&state.frontier_cache, key, || {
         let map = job.run(&state.miss_pool);
-        Arc::from(serde_json::to_string(&map).expect("frontier map serializes"))
+        json_body(&map)
     });
     (200, body)
 }
@@ -461,7 +481,7 @@ fn handle_simulate(body: &[u8], state: &AppState) -> (u16, Arc<str>) {
     let key = SimulateKey::of(&request, &replay.scenarios()[0].params);
     let body = state.simulate_flight.serve(&state.simulate_cache, key, || {
         let report = replay.run(&state.miss_pool);
-        Arc::from(serde_json::to_string(&report).expect("replay report serializes"))
+        json_body(&report)
     });
     (200, body)
 }
@@ -486,10 +506,7 @@ fn handle_tiers(body: &[u8]) -> (u16, Arc<str>) {
         Err(e) => return (400, error_body(e.to_string())),
     };
     let response = crate::api::TiersResponse::evaluate(&params, Ratio::new(request.sss));
-    (
-        200,
-        Arc::from(serde_json::to_string(&response).expect("tiers body serializes")),
-    )
+    (200, json_body(&response))
 }
 
 fn handle_healthz(state: &AppState) -> (u16, Arc<str>) {
@@ -504,10 +521,7 @@ fn handle_healthz(state: &AppState) -> (u16, Arc<str>) {
         frontier_cache: state.frontier_cache.stats(),
         simulate_cache: state.simulate_cache.stats(),
     };
-    (
-        200,
-        Arc::from(serde_json::to_string(&health).expect("health body serializes")),
-    )
+    (200, json_body(&health))
 }
 
 /// Parse and validate a `/decide` body into model parameters.

@@ -64,6 +64,7 @@ impl BandwidthTrace {
         if segments.is_empty() {
             return Err("a trace needs at least one segment".into());
         }
+        // sss-lint: allow(D004, traces must start at literal t=0; validation is exact)
         if segments[0].0 != 0.0 {
             return Err(format!(
                 "the first segment must start at t=0, got {}",
@@ -164,6 +165,7 @@ impl BandwidthTrace {
         );
         assert!(divisor > 0.0, "divisor must be positive, got {divisor}");
         assert!(cap > 0.0, "cap must be positive, got {cap}");
+        // sss-lint: allow(D004, zero-byte transfer completes instantly; exact guard)
         if bytes == 0.0 {
             return start_s;
         }

@@ -88,6 +88,7 @@ impl Ecdf {
     pub fn quantile_nearest_rank(&self, q: f64) -> f64 {
         let q = q.clamp(0.0, 1.0);
         let n = self.sorted.len();
+        // sss-lint: allow(D004, q is clamped; exactly 0 selects the minimum by definition)
         if q == 0.0 {
             return self.sorted[0];
         }

@@ -231,6 +231,7 @@ impl fmt::Display for TimeDelta {
         }
         let (value, suffix) = if abs >= 60.0 {
             (self.0 / 60.0, "min")
+        // sss-lint: allow(D004, exact zero formats as "0 s"; display branch only)
         } else if abs >= 1.0 || abs == 0.0 {
             (self.0, "s")
         } else if abs >= 1e-3 {

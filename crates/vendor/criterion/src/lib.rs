@@ -164,6 +164,9 @@ impl Bencher {
         // One untimed warm-up to fault in caches/allocations.
         black_box(routine());
         for _ in 0..self.sample_size {
+            // Bench timing is wall-clock by definition (sss-lint D002
+            // does not walk vendor; this allow covers the clippy mirror).
+            #[allow(clippy::disallowed_methods)]
             let start = Instant::now();
             black_box(routine());
             self.samples.push(start.elapsed());

@@ -311,7 +311,7 @@ fn cmd_scenarios(flags: &HashMap<String, String>) -> Result<(), String> {
             ScenarioSuite::new(vec![scenario], config)
         }
         None => ScenarioSuite::bundled(config),
-    };
+    }?;
     let chunk_or_default = chunk.unwrap_or(ScenarioSuite::DEFAULT_CHUNK);
     let evaluations = match flags.get("mode").map(String::as_str) {
         Some("sequential") => {
@@ -394,7 +394,7 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     let replay = match flags.get("scenario") {
         Some(query) => SessionReplay::new(vec![Scenario::resolve(query)?], config),
         None => SessionReplay::bundled(config),
-    };
+    }?;
     let report = match flags.get("mode").map(String::as_str) {
         Some("sequential") => {
             if flags.contains_key("workers") {

@@ -53,7 +53,7 @@ fn scenarios_round_trip_through_specs() {
 
 #[test]
 fn full_bundled_suite_parallel_matches_sequential() {
-    let suite = ScenarioSuite::bundled(tiny_config(7));
+    let suite = ScenarioSuite::bundled(tiny_config(7)).unwrap();
     let par = suite.run(&ThreadPool::new(4));
     let seq = suite.run_sequential();
     assert_eq!(par.len(), seq.len());
@@ -67,7 +67,7 @@ fn full_bundled_suite_parallel_matches_sequential() {
 
 #[test]
 fn suite_covers_model_netsim_and_iosim_per_scenario() {
-    let suite = ScenarioSuite::bundled(tiny_config(42));
+    let suite = ScenarioSuite::bundled(tiny_config(42)).unwrap();
     let evals = suite.run(&ThreadPool::with_available_parallelism());
     for e in &evals {
         // Model: the analytic verdict is present and self-consistent.
@@ -95,7 +95,8 @@ fn suite_evaluations_serialize() {
     let suite = ScenarioSuite::new(
         vec![Scenario::by_id("deleria-frib").unwrap()],
         tiny_config(3),
-    );
+    )
+    .unwrap();
     let evals = suite.run_sequential();
     let json = serde_json::to_string(&evals).expect("serialize evaluations");
     let back: Vec<ScenarioEvaluation> = serde_json::from_str(&json).expect("deserialize");
@@ -105,8 +106,12 @@ fn suite_evaluations_serialize() {
 #[test]
 fn different_seeds_perturb_the_probes() {
     let scenarios = vec![Scenario::by_id("lcls-coherent-scattering").unwrap()];
-    let a = ScenarioSuite::new(scenarios.clone(), tiny_config(1)).run_sequential();
-    let b = ScenarioSuite::new(scenarios, tiny_config(2)).run_sequential();
+    let a = ScenarioSuite::new(scenarios.clone(), tiny_config(1))
+        .unwrap()
+        .run_sequential();
+    let b = ScenarioSuite::new(scenarios, tiny_config(2))
+        .unwrap()
+        .run_sequential();
     assert_ne!(
         a[0].congestion, b[0].congestion,
         "distinct suite seeds must yield distinct netsim probes"
@@ -115,7 +120,7 @@ fn different_seeds_perturb_the_probes() {
 
 #[test]
 fn summary_table_covers_the_catalog() {
-    let suite = ScenarioSuite::bundled(tiny_config(42));
+    let suite = ScenarioSuite::bundled(tiny_config(42)).unwrap();
     let evals = suite.run_sequential();
     let table = summary_table(&evals);
     assert_eq!(table.len(), Scenario::registry().len());

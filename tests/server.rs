@@ -318,3 +318,37 @@ fn responses_identical_across_worker_counts() {
     let n = bodies.len();
     assert_eq!(one[..n], one[n..], "repeat queries identical to first");
 }
+
+/// The `/healthz` counter block must be byte-stable across fresh server
+/// instances given the same request sequence: the decision cache shards
+/// over `HashMap`s, and if hash-iteration order ever leaked into the
+/// serialized `CacheStats` (entry counts, hit/miss accounting), two
+/// identical runs would disagree here.
+#[test]
+fn healthz_cache_stats_are_byte_stable_across_runs() {
+    let run = || -> String {
+        let handle = start(2, 64);
+        let addr = handle.addr();
+        // Populate several shards, with repeats for hits, sequentially so
+        // batch counters are deterministic too.
+        for i in 0..6 {
+            let alpha = 0.5 + 0.05 * f64::from(i);
+            let body = format!(
+                r#"{{"data_gb":2.0,"intensity_tflop_per_gb":17.0,"local_tflops":10.0,
+                    "remote_tflops":340.0,"bandwidth_gbps":25.0,"alpha":{alpha}}}"#
+            );
+            for _ in 0..2 {
+                let (status, _) = call(addr, "POST", "/decide", &body);
+                assert_eq!(status, 200);
+            }
+        }
+        let (status, body) = call(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        handle.shutdown();
+        // Everything from the cache counters onward; the prefix holds the
+        // wall-clock uptime, which legitimately differs.
+        let at = body.find("\"cache\":").expect("cache block present");
+        body[at..].to_owned()
+    };
+    assert_eq!(run(), run(), "cache-stats bytes drifted between runs");
+}

@@ -106,7 +106,7 @@ fn library_replay_meets_the_acceptance_contract() {
     // The acceptance criteria in one place: every catalog scenario under
     // >= 3 trace shapes, steady within the documented tolerance, and
     // byte-identical parallel replay.
-    let replay = SessionReplay::bundled(ReplayConfig::quick(42));
+    let replay = SessionReplay::bundled(ReplayConfig::quick(42)).unwrap();
     let report = replay.run(&ThreadPool::new(8));
     assert_eq!(report, replay.run_sequential());
 
