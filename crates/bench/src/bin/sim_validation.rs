@@ -1,17 +1,69 @@
 //! E-X6 — the model-error ground truth: every registered scenario
 //! replayed through the event-driven simulator under all four WAN trace
 //! shapes, compared against the closed-form model, and persisted as
-//! `results/sim_validation.{csv,json,md}`.
+//! `results/sim_validation.{csv,json,md}` — now with a fidelity column:
+//! every cell is replayed through both the exact (per-frame event) and
+//! the fluid (closed-form rate integration) integrators, their parity is
+//! gated on the per-shape tolerances `sss-sim` exports, and the bench
+//! reports each fidelity's cells/sec throughput plus the measured
+//! fluid-over-exact speedup.
 //!
 //! Honors `SSS_SEED` and `SSS_QUICK` like the other regenerators.
 
+use std::time::Instant;
+
+use serde::Serialize;
 use sss_bench::{quick, results_dir, seed};
 use sss_exec::ThreadPool;
 use sss_loadgen::{
-    replay_csv, replay_summary_table, replay_table, ReplayConfig, SessionReplay, STEADY_TOLERANCE,
+    replay_fidelity_csv, replay_summary_table, replay_table, ReplayConfig, ReplayReport,
+    SessionReplay, STEADY_TOLERANCE,
 };
 use sss_report::write_json;
-use sss_sim::TraceShape;
+use sss_sim::{fluid_tolerance, Fidelity, TraceShape};
+
+/// Everything the JSON artifact records: both replay matrices plus the
+/// measured throughput of each integrator.
+#[derive(Debug, Clone, Serialize)]
+struct SimValidationArtifact {
+    exact: ReplayReport,
+    fluid: ReplayReport,
+    throughput: Vec<FidelityThroughput>,
+    fluid_speedup: f64,
+}
+
+/// One fidelity's measured replay throughput.
+#[derive(Debug, Clone, Serialize)]
+struct FidelityThroughput {
+    fidelity: Fidelity,
+    frames: u32,
+    cells: usize,
+    elapsed_s: f64,
+    cells_per_sec: f64,
+}
+
+/// Time one sequential replay of `config`, returning the report and the
+/// cells/sec it sustained. Sequential on purpose: the pool would blur
+/// the per-integrator cost the speedup figure is about.
+fn timed_replay(config: ReplayConfig) -> (ReplayReport, FidelityThroughput) {
+    let fidelity = config.fidelity;
+    let frames = config.frames;
+    let replay = SessionReplay::bundled(config).expect("bundled ReplayConfig is valid");
+    #[allow(clippy::disallowed_methods)]
+    // sss-lint: allow(D002, bench measures real elapsed time by design)
+    let start = Instant::now();
+    let report = replay.run_sequential();
+    let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
+    let cells = report.records.len();
+    let throughput = FidelityThroughput {
+        fidelity,
+        frames,
+        cells,
+        elapsed_s,
+        cells_per_sec: cells as f64 / elapsed_s,
+    };
+    (report, throughput)
+}
 
 fn main() {
     let config = if quick() {
@@ -19,20 +71,23 @@ fn main() {
     } else {
         ReplayConfig::standard(seed())
     };
-    let replay = SessionReplay::bundled(config).expect("bundled ReplayConfig is valid");
+    let replay = SessionReplay::bundled(config.clone()).expect("bundled ReplayConfig is valid");
     let pool = ThreadPool::with_available_parallelism();
     eprintln!(
-        "replaying {} scenarios x {} trace shapes on {} workers...",
+        "replaying {} scenarios x {} trace shapes on {} workers (exact + fluid)...",
         replay.scenarios().len(),
         replay.config().shapes.len(),
         pool.workers()
     );
-    let report = replay.run(&pool);
+    let exact = replay.run(&pool);
+    let fluid = SessionReplay::bundled(config.clone().with_fidelity(Fidelity::Fluid))
+        .expect("bundled ReplayConfig is valid")
+        .run(&pool);
 
-    println!("{}", replay_table(&report).to_text());
-    println!("{}", replay_summary_table(&report).to_text());
+    println!("{}", replay_table(&exact).to_text());
+    println!("{}", replay_summary_table(&exact).to_text());
 
-    let steady = report
+    let steady = exact
         .shape_summary(TraceShape::Steady)
         .expect("steady shape replayed");
     assert!(
@@ -41,28 +96,77 @@ fn main() {
         steady.max_rel_err
     );
 
+    // Fluid parity gate: every cell within the per-shape tolerance the
+    // library exports — the same constants the test suites assert.
+    let mut max_parity = 0.0f64;
+    for (e, f) in exact.records.iter().zip(&fluid.records) {
+        let rel = (f.sim_t_pct_s - e.sim_t_pct_s).abs() / e.sim_t_pct_s.abs().max(1e-12);
+        max_parity = max_parity.max(rel);
+        assert!(
+            rel <= fluid_tolerance(e.shape),
+            "{} under {}: fluid drifted {rel:.3e} from exact (tolerance {:.0e})",
+            e.scenario_id,
+            e.shape,
+            fluid_tolerance(e.shape)
+        );
+    }
+    println!("fluid parity: max |fluid - exact| / exact = {max_parity:.2e} (per-shape gates held)");
+
+    // Throughput: the same matrix at a deliberately high frame count,
+    // where the exact integrator pays O(frames) per cell and the fluid
+    // one O(trace segments). Quick mode halves the frame count; the
+    // fluid run repeats to keep its (sub-millisecond) timing measurable.
+    let bench_frames = if quick() { 2048 } else { 4096 };
+    let mut bench_config = config.clone();
+    bench_config.frames = bench_frames;
+    bench_config.files = 16.min(bench_frames);
+    let (_, exact_tp) = timed_replay(bench_config.clone());
+    let fluid_runs = 5;
+    let fluid_tp = (0..fluid_runs)
+        .map(|_| timed_replay(bench_config.clone().with_fidelity(Fidelity::Fluid)).1)
+        .fold(None::<FidelityThroughput>, |best, t| match best {
+            Some(b) if b.cells_per_sec >= t.cells_per_sec => Some(b),
+            _ => Some(t),
+        })
+        .expect("at least one fluid timing run");
+    let speedup = fluid_tp.cells_per_sec / exact_tp.cells_per_sec;
+    println!(
+        "throughput at {bench_frames} frames/cell: exact {:.0} cells/s, fluid {:.0} cells/s",
+        exact_tp.cells_per_sec, fluid_tp.cells_per_sec
+    );
+    println!("fluid fast path speedup: {speedup:.0}x cells/sec over the exact integrator");
+
     let dir = results_dir();
     let md = dir.join("sim_validation.md");
     std::fs::write(
         &md,
         format!(
-            "{}{}",
-            replay_table(&report).to_markdown(),
-            replay_summary_table(&report).to_markdown()
+            "{}{}\nfluid parity max rel err: {max_parity:.2e}\n\nthroughput at {bench_frames} \
+             frames/cell: exact {:.0} cells/s, fluid {:.0} cells/s ({speedup:.0}x)\n",
+            replay_table(&exact).to_markdown(),
+            replay_summary_table(&exact).to_markdown(),
+            exact_tp.cells_per_sec,
+            fluid_tp.cells_per_sec,
         ),
     )
     .expect("write sim_validation.md");
     let csv = dir.join("sim_validation.csv");
-    replay_csv(&report)
+    replay_fidelity_csv(&[(Fidelity::Exact, &exact), (Fidelity::Fluid, &fluid)])
         .write_to(&csv)
         .expect("write sim_validation.csv");
     let json = dir.join("sim_validation.json");
-    write_json(&json, &report).expect("write sim_validation.json");
+    let artifact = SimValidationArtifact {
+        exact,
+        fluid,
+        throughput: vec![exact_tp, fluid_tp],
+        fluid_speedup: speedup,
+    };
+    write_json(&json, &artifact).expect("write sim_validation.json");
     eprintln!(
         "wrote {}, {} and {} (overall decision agreement {:.1}%)",
         md.display(),
         csv.display(),
         json.display(),
-        report.overall_agreement() * 100.0
+        artifact.exact.overall_agreement() * 100.0
     );
 }

@@ -194,7 +194,7 @@ impl EventFileBasedPipeline {
     /// Frames per file; the last files take one fewer when uneven (the
     /// remainder spreads over the first files, as in the analytic
     /// pipeline).
-    fn frames_in_file(&self, file: u32) -> u32 {
+    pub(crate) fn frames_in_file(&self, file: u32) -> u32 {
         let base = self.source.n_frames / self.files;
         let rem = self.source.n_frames % self.files;
         base + u32::from(file < rem)

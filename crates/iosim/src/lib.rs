@@ -29,6 +29,7 @@
 //! ```
 
 mod event;
+mod fluid;
 mod pipeline;
 mod profile;
 mod staged;
@@ -143,6 +144,92 @@ mod proptests {
             let wire = src.total_bytes() / Rate::from_gigabytes_per_sec(12.5);
             let theta = theta_estimate(f.post_acquisition_lag, wire).unwrap();
             prop_assert!(theta.value() >= 1.0 - 1e-9);
+        }
+
+        /// Fluid-vs-exact parity, file path: the closed-form writer +
+        /// traced DTN is exact for **any** geometry, aggregation,
+        /// concurrency and random trace (zero-rate slots included) —
+        /// completion and every per-file instant within 1e-9 relative.
+        #[test]
+        fn fluid_file_pipeline_matches_event_on_random_traces(
+            frames in 1u32..96,
+            period in 1.0f64..60.0,
+            files_raw in 1u32..32,
+            concurrency in 1u32..5,
+            segs in proptest::collection::vec((0.05f64..3.0, 0u32..4), 0..10),
+        ) {
+            let files = files_raw.min(frames);
+            let src = any_source(period, frames);
+            let mut path = presets::aps_to_alcf();
+            path.dtn.concurrency = concurrency;
+            let base = path.wan.bandwidth.as_gbps();
+            let mut segments = vec![(0.0, path.wan.bandwidth)];
+            let mut t = 0.0;
+            for (dur, level) in segs {
+                t += dur;
+                segments.push((t, Rate::from_gbps(base * level as f64 / 4.0)));
+            }
+            t += 1.0;
+            segments.push((t, path.wan.bandwidth));
+            let trace = sss_sim::BandwidthTrace::from_segments(&segments).unwrap();
+
+            let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(b.abs()).max(1e-12);
+            let pipe = EventFileBasedPipeline::new(src, files, path, trace);
+            let exact = pipe.run();
+            let fluid = pipe.run_fluid();
+            prop_assert!(
+                rel(fluid.completion.as_secs(), exact.completion.as_secs()) <= 1e-9,
+                "completion: fluid {} vs exact {}", fluid.completion, exact.completion
+            );
+            for (f, e) in fluid.unit_available_s.iter().zip(&exact.unit_available_s) {
+                prop_assert!(rel(*f, *e) <= 1e-9, "file instant {f} vs {e}");
+            }
+        }
+
+        /// Fluid-vs-exact parity, streaming path: on burst sources (the
+        /// replay regime, which satisfies the Hybrid exactness condition)
+        /// the fluid completion matches the per-frame chain within 1e-9
+        /// for random traces; on arrival-gated sources it stays a lower
+        /// envelope — never completing before the event simulator minus
+        /// float slack.
+        #[test]
+        fn fluid_streaming_parity_on_random_traces(
+            frames in 1u32..96,
+            segs in proptest::collection::vec((0.05f64..3.0, 1u32..4), 0..10),
+            period in 1.0f64..60.0,
+        ) {
+            let mut wan = presets::aps_alcf_wan();
+            wan.per_message_overhead = TimeDelta::ZERO;
+            let mut segments = vec![(0.0, wan.bandwidth)];
+            let mut t = 0.0;
+            for (dur, level) in segs {
+                t += dur;
+                segments.push((t, Rate::from_gbps(wan.bandwidth.as_gbps() * level as f64 / 4.0)));
+            }
+            t += 1.0;
+            segments.push((t, wan.bandwidth));
+            let trace = sss_sim::BandwidthTrace::from_segments(&segments).unwrap();
+            let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(b.abs()).max(1e-12);
+
+            // Burst production: provably exact.
+            let burst = FrameSource::new(frames, Bytes::from_mb(8.0), TimeDelta::from_secs(1e-9));
+            let pipe = EventStreamingPipeline::new(burst, wan, trace.clone());
+            prop_assert!(pipe.fluid_is_exact());
+            let exact = pipe.run().completion.as_secs();
+            let fluid = pipe.run_fluid().completion.as_secs();
+            prop_assert!(rel(fluid, exact) <= 1e-9, "burst: fluid {fluid} vs exact {exact}");
+
+            // Arrival-gated production: fluid arrivals are a lower
+            // envelope of the frame steps, so the fluid stream can only
+            // finish later (modulo float slack).
+            let gated = any_source(period, frames);
+            let pipe = EventStreamingPipeline::new(gated, wan, trace);
+            let exact = pipe.run().completion.as_secs();
+            let fluid = pipe.run_fluid().completion.as_secs();
+            prop_assert!(
+                fluid >= exact - exact.abs() * 1e-9,
+                "gated: fluid {fluid} finished before exact {exact}"
+            );
         }
 
         /// Analytic-vs-event parity: under a constant-bandwidth trace the

@@ -56,8 +56,8 @@ pub use experiment::{ClientRecord, Experiment, ExperimentResult, SpawnStrategy, 
 pub use frontier::{boundary_csv, frontier_csv, frontier_table, FrontierJob};
 pub use httpload::{loadtest_table, run_http_load, HttpLoadReport, HttpLoadSpec};
 pub use replay::{
-    replay_csv, replay_summary_table, replay_table, ReplayConfig, ReplayRecord, ReplayReport,
-    SessionReplay, ShapeSummary, STEADY_TOLERANCE,
+    replay_csv, replay_fidelity_csv, replay_summary_table, replay_table, ReplayConfig,
+    ReplayRecord, ReplayReport, SessionReplay, ShapeSummary, STEADY_TOLERANCE,
 };
 pub use suite::{
     suite_csv, summary_table, CongestionPoint, IoSummary, ScenarioEvaluation, ScenarioSuite,
@@ -97,6 +97,76 @@ mod proptests {
             for c in &result.clients {
                 if let Some(t) = c.transfer_time() {
                     prop_assert!(t.as_secs() > 0.0);
+                }
+            }
+        }
+
+        /// Fluid-vs-exact replay parity over random replay geometry:
+        /// for any catalog scenario, seed, and frame/file split, every
+        /// (scenario × shape) cell's simulated `T_pct` agrees within the
+        /// exported per-shape tolerance, the staged column agrees to
+        /// 1e-9, and the decision is bit-equal everywhere off the
+        /// frontier band (where a sub-tolerance nudge could legitimately
+        /// flip a strict comparison).
+        #[test]
+        fn fluid_replay_parity_on_random_geometry(
+            seed in any::<u64>(),
+            frames in 4u32..48,
+            files_div in 1u32..5,
+            scenario_pick in any::<usize>(),
+        ) {
+            use sss_core::{decide_batch, Scenario};
+            use sss_sim::{fluid_tolerance, Fidelity, TraceShape};
+
+            let all = Scenario::all();
+            let scenario = all[scenario_pick % all.len()].clone();
+            let t_local = decide_batch(&[scenario.params])[0].t_local.as_secs();
+
+            let base = ReplayConfig {
+                frames,
+                files: (frames / files_div).max(1),
+                shapes: TraceShape::ALL.to_vec(),
+                seed,
+                fidelity: Fidelity::Exact,
+            };
+            let scenarios = vec![scenario];
+            let exact = SessionReplay::new(scenarios.clone(), base.clone())
+                .unwrap()
+                .run_sequential();
+            let fluid = SessionReplay::new(
+                scenarios,
+                base.with_fidelity(Fidelity::Fluid),
+            )
+            .unwrap()
+            .run_sequential();
+
+            for (e, f) in exact.records.iter().zip(&fluid.records) {
+                let tol = fluid_tolerance(e.shape);
+                let scale = e.sim_t_pct_s.abs().max(1e-12);
+                let rel = (f.sim_t_pct_s - e.sim_t_pct_s).abs() / scale;
+                prop_assert!(
+                    rel <= tol,
+                    "{}/{}: fluid T_pct rel err {} above tolerance {}",
+                    e.scenario_id, e.shape, rel, tol
+                );
+                let file_rel = (f.sim_file_completion_s - e.sim_file_completion_s).abs()
+                    / e.sim_file_completion_s.abs().max(1e-12);
+                prop_assert!(
+                    file_rel <= 1e-9,
+                    "{}/{}: staged fluid rel err {}",
+                    e.scenario_id, e.shape, file_rel
+                );
+                // Off the frontier band the decision must be bit-equal:
+                // feasibility inputs are identical, and a T_pct shift
+                // bounded by tol·T_pct cannot cross a gap wider than
+                // twice that.
+                let off_frontier = (e.sim_t_pct_s - t_local).abs() > 2.0 * tol * scale;
+                if off_frontier {
+                    prop_assert_eq!(
+                        e.sim_decision, f.sim_decision,
+                        "{}/{}: decision flipped off the frontier band",
+                        e.scenario_id, e.shape
+                    );
                 }
             }
         }

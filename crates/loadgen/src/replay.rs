@@ -37,6 +37,16 @@
 //! `T_local` (the local path has no network, so its closed form is
 //! exact). Cells fan out across the [`ThreadPool`] with position-derived
 //! seeds, so parallel and sequential replays are byte-identical.
+//!
+//! ## Fidelity
+//!
+//! [`ReplayConfig::fidelity`] selects the movement integrator. The burst
+//! production (1 ns cadence) and zero-overhead WAN place every replay
+//! cell in the regime where the fluid fast path is provably exact (see
+//! `sss_iosim`'s fluid module), so [`Fidelity::Fluid`] reproduces the
+//! exact records within the per-shape tolerances exported by
+//! [`sss_sim::fluid_tolerance`] while costing `O(trace segments)` per
+//! cell instead of `O(frames)`.
 
 use serde::{Deserialize, Serialize};
 
@@ -44,7 +54,7 @@ use sss_core::{decide_batch, CompletionModel, Decision, DecisionReport, Scenario
 use sss_exec::{SeedSequence, ThreadPool};
 use sss_iosim::{presets, EventFileBasedPipeline, EventStreamingPipeline, FrameSource, WanProfile};
 use sss_report::{CsvWriter, Table};
-use sss_sim::TraceShape;
+use sss_sim::{Fidelity, TraceShape};
 use sss_units::{Bytes, Rate, TimeDelta};
 
 /// Documented steady-state tolerance: with a constant trace the replay
@@ -66,6 +76,11 @@ pub struct ReplayConfig {
     pub shapes: Vec<TraceShape>,
     /// Master seed; per-cell seeds derive from it by position.
     pub seed: u64,
+    /// Which movement integrator the pipelines use: per-frame event
+    /// stepping ([`Fidelity::Exact`]), closed-form piecewise-constant
+    /// rate integration ([`Fidelity::Fluid`]), or fluid-where-provable
+    /// ([`Fidelity::Hybrid`]).
+    pub fidelity: Fidelity,
 }
 
 impl ReplayConfig {
@@ -77,6 +92,7 @@ impl ReplayConfig {
             files: 16,
             shapes: TraceShape::ALL.to_vec(),
             seed,
+            fidelity: Fidelity::Exact,
         }
     }
 
@@ -87,7 +103,14 @@ impl ReplayConfig {
             files: 4,
             shapes: TraceShape::ALL.to_vec(),
             seed,
+            fidelity: Fidelity::Exact,
         }
+    }
+
+    /// The same configuration with a different movement [`Fidelity`].
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
     }
 
     /// Validate the knobs the pipelines would otherwise panic on.
@@ -294,7 +317,8 @@ impl SessionReplay {
             rtt: TimeDelta::ZERO,
             per_message_overhead: TimeDelta::ZERO,
         };
-        let movement = EventStreamingPipeline::new(source, wan, trace.clone()).run();
+        let movement = EventStreamingPipeline::new(source, wan, trace.clone())
+            .run_fidelity(self.config.fidelity);
         let sim_transfer = movement.completion.as_secs();
 
         // Remote compute has no network in it; the closed form is exact
@@ -310,7 +334,10 @@ impl SessionReplay {
         let mut path = presets::aps_to_alcf();
         path.wan = wan;
         let staged = EventFileBasedPipeline::new(source, self.config.files, path, trace.clone());
-        let sim_file_completion_s = staged.run().completion.as_secs();
+        let sim_file_completion_s = staged
+            .run_fidelity(self.config.fidelity)
+            .completion
+            .as_secs();
 
         // The simulated verdict: the model's own decision rule fed with
         // simulated inputs. Feasibility uses the trace's mean effective
@@ -401,6 +428,44 @@ pub fn replay_summary_table(report: &ReplayReport) -> Table {
     table
 }
 
+/// The replay matrix of several fidelity runs as one CSV: a `fidelity`
+/// column first, then one row per (scenario, shape) cell of each run.
+/// This is what `sim_validation` persists so exact and fluid records
+/// land side by side in the same artifact.
+pub fn replay_fidelity_csv(runs: &[(Fidelity, &ReplayReport)]) -> CsvWriter {
+    let mut csv = CsvWriter::new([
+        "fidelity",
+        "scenario",
+        "trace",
+        "mean_effective_gbps",
+        "model_t_pct_s",
+        "sim_t_pct_s",
+        "t_pct_rel_err",
+        "sim_file_completion_s",
+        "model_decision",
+        "sim_decision",
+        "agree",
+    ]);
+    for (fidelity, report) in runs {
+        for r in &report.records {
+            csv.row([
+                fidelity.label().to_string(),
+                r.scenario_id.clone(),
+                r.shape.label().to_string(),
+                format!("{}", r.mean_effective_gbps),
+                format!("{}", r.model_t_pct_s),
+                format!("{}", r.sim_t_pct_s),
+                format!("{}", r.t_pct_rel_err),
+                format!("{}", r.sim_file_completion_s),
+                format!("{:?}", r.model_decision),
+                format!("{:?}", r.sim_decision),
+                format!("{}", r.agree),
+            ]);
+        }
+    }
+    csv
+}
+
 /// The full replay matrix as CSV: one row per (scenario, shape) cell.
 pub fn replay_csv(report: &ReplayReport) -> CsvWriter {
     let mut csv = CsvWriter::new([
@@ -439,6 +504,7 @@ pub fn replay_csv(report: &ReplayReport) -> CsvWriter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sss_sim::fluid_tolerance;
 
     fn two_scenarios() -> Vec<Scenario> {
         vec![
@@ -550,12 +616,93 @@ mod tests {
     }
 
     #[test]
+    fn fidelity_csv_stacks_runs_with_a_label_column() {
+        let exact = SessionReplay::new(two_scenarios(), ReplayConfig::quick(42))
+            .unwrap()
+            .run_sequential();
+        let fluid = SessionReplay::new(
+            two_scenarios(),
+            ReplayConfig::quick(42).with_fidelity(Fidelity::Fluid),
+        )
+        .unwrap()
+        .run_sequential();
+        let csv = replay_fidelity_csv(&[(Fidelity::Exact, &exact), (Fidelity::Fluid, &fluid)]);
+        let text = csv.as_str();
+        assert_eq!(
+            text.lines().count(),
+            1 + exact.records.len() + fluid.records.len()
+        );
+        assert!(text.lines().nth(1).unwrap().starts_with("exact,"));
+        assert!(text
+            .lines()
+            .nth(1 + exact.records.len())
+            .unwrap()
+            .starts_with("fluid,"));
+    }
+
+    #[test]
     fn report_serde_round_trip() {
         let replay = SessionReplay::new(two_scenarios(), ReplayConfig::quick(42)).unwrap();
         let report = replay.run_sequential();
         let json = serde_json::to_string(&report).unwrap();
         let back: ReplayReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);
+    }
+
+    #[test]
+    fn fluid_replay_matches_exact_within_the_exported_tolerances() {
+        let exact = SessionReplay::bundled(ReplayConfig::quick(42))
+            .unwrap()
+            .run_sequential();
+        let fluid = SessionReplay::bundled(ReplayConfig::quick(42).with_fidelity(Fidelity::Fluid))
+            .unwrap()
+            .run_sequential();
+        assert_eq!(exact.records.len(), fluid.records.len());
+        for (e, f) in exact.records.iter().zip(&fluid.records) {
+            let tol = fluid_tolerance(e.shape);
+            let rel = (f.sim_t_pct_s - e.sim_t_pct_s).abs() / e.sim_t_pct_s.abs().max(1e-12);
+            assert!(
+                rel <= tol,
+                "{}/{}: fluid T_pct {} vs exact {} (rel {rel} > tol {tol})",
+                e.scenario_id,
+                e.shape,
+                f.sim_t_pct_s,
+                e.sim_t_pct_s
+            );
+            let file_rel = (f.sim_file_completion_s - e.sim_file_completion_s).abs()
+                / e.sim_file_completion_s.abs().max(1e-12);
+            assert!(
+                file_rel <= 1e-9,
+                "{}/{}: staged fluid {} vs exact {}",
+                e.scenario_id,
+                e.shape,
+                f.sim_file_completion_s,
+                e.sim_file_completion_s
+            );
+        }
+    }
+
+    #[test]
+    fn fluid_replay_is_parallel_deterministic() {
+        let replay =
+            SessionReplay::bundled(ReplayConfig::quick(42).with_fidelity(Fidelity::Fluid)).unwrap();
+        let par = replay.run(&ThreadPool::new(8));
+        let seq = replay.run_sequential();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn hybrid_replay_is_bit_identical_to_fluid_under_burst_production() {
+        // Every replay cell satisfies the fluid-exactness gate (burst
+        // production, zero overhead), so Hybrid must pick the fluid path
+        // in every cell — not approximately: the same code runs.
+        let fluid = SessionReplay::bundled(ReplayConfig::quick(7).with_fidelity(Fidelity::Fluid))
+            .unwrap()
+            .run_sequential();
+        let hybrid = SessionReplay::bundled(ReplayConfig::quick(7).with_fidelity(Fidelity::Hybrid))
+            .unwrap()
+            .run_sequential();
+        assert_eq!(fluid, hybrid);
     }
 
     #[test]

@@ -27,12 +27,14 @@
 //! ```
 
 mod config;
+mod fluid;
 mod link;
 mod packet;
 mod sim;
 mod tcp;
 
 pub use config::{LinkConfig, Qdisc, SimConfig, TcpConfig};
+pub use fluid::{FluidFlowRecord, FluidReport, FluidSimulator};
 pub use link::{Link, LinkStats};
 pub use packet::{FlowId, Packet, PacketKind};
 pub use sim::{CwndSample, FlowRecord, FlowSpec, SimReport, Simulator};
@@ -73,6 +75,31 @@ mod proptests {
             }
             let report = sim.run();
             prop_assert!(report.all_completed(), "flows starved: {report:?}");
+
+            // Fluid fast path: the work-conserving, zero-overhead fluid
+            // makespan is an ideal lower bound on the packet-level one.
+            // (Per-flow FCTs are not comparable — TCP unfairness can let
+            // one flow beat its max-min fair share.)
+            let mut fluid = FluidSimulator::new(cfg, n as u32);
+            for i in 0..n {
+                fluid.add_flow(FlowSpec::new(
+                    i as u32,
+                    Bytes::from_b(sizes[i] as f64),
+                    SimTime::from_millis(starts_ms[i]),
+                ));
+            }
+            let floor = fluid.run();
+            let packet_end = report
+                .flows
+                .iter()
+                .filter_map(|r| r.completion.map(|t| t.as_secs()))
+                .fold(0.0, f64::max);
+            prop_assert!(
+                floor.end_s <= packet_end + 1e-9,
+                "fluid makespan {} exceeds packet makespan {packet_end}",
+                floor.end_s
+            );
+
             let expected: u64 = sizes[..n].iter().sum();
             prop_assert!(
                 (report.delivered.total_bytes() - expected as f64).abs() < 1.0,

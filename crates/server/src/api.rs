@@ -12,7 +12,7 @@ use sss_core::{
     Scenario, Sensitivity, Tier, TierReport,
 };
 use sss_loadgen::{FrontierJob, ReplayConfig, SessionReplay};
-use sss_sim::TraceShape;
+use sss_sim::{Fidelity, TraceShape};
 use sss_units::{Bytes, ComputeIntensity, FlopRate, Rate, Ratio};
 
 fn default_theta() -> f64 {
@@ -271,6 +271,10 @@ fn default_seed() -> u64 {
     42
 }
 
+fn default_fidelity() -> String {
+    "exact".into()
+}
+
 /// Body of `POST /simulate`: a workload plus the WAN trace shapes to
 /// replay it under through the event-driven simulator.
 ///
@@ -296,6 +300,11 @@ pub struct SimulateRequest {
     /// Seed for the `bursty` shape's dip placement (default 42).
     #[serde(default = "default_seed")]
     pub seed: u64,
+    /// Movement integrator: `"exact"` (per-frame events, the default),
+    /// `"fluid"` (closed-form piecewise-constant rate integration), or
+    /// `"hybrid"` (fluid where provably exact, events elsewhere).
+    #[serde(default = "default_fidelity")]
+    pub fidelity: String,
 }
 
 impl SimulateRequest {
@@ -322,6 +331,7 @@ impl SimulateRequest {
             files: self.files,
             shapes,
             seed: self.seed,
+            fidelity: Fidelity::parse(&self.fidelity)?,
         };
         let scenario = Scenario {
             id: "workload".into(),

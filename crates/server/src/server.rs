@@ -94,6 +94,7 @@ struct SimulateKey {
     frames: u32,
     files: u32,
     seed: u64,
+    fidelity: String,
 }
 
 impl SimulateKey {
@@ -104,6 +105,7 @@ impl SimulateKey {
             frames: request.frames,
             files: request.files,
             seed: request.seed,
+            fidelity: request.fidelity.clone(),
         }
     }
 }

@@ -43,10 +43,15 @@
 
 #![warn(missing_docs)]
 
+mod fidelity;
 mod queue;
 mod time;
 mod trace;
 
+pub use fidelity::{
+    fluid_tolerance, Fidelity, FLUID_TOLERANCE_BURSTY, FLUID_TOLERANCE_DIURNAL,
+    FLUID_TOLERANCE_OUTAGE, FLUID_TOLERANCE_STEADY,
+};
 pub use queue::EventQueue;
 pub use time::{Seconds, SimTime};
 pub use trace::{BandwidthTrace, TraceShape};
@@ -94,6 +99,43 @@ mod proptests {
             // Later starts never finish earlier.
             let later = trace.finish_time(0.1, bytes);
             prop_assert!(later >= done - 1e-9);
+        }
+
+        /// Fluid integration over **random** piecewise-constant traces —
+        /// arbitrary breakpoint counts, rate levels including zero-rate
+        /// slots — agrees with the exact byte integrator whenever the
+        /// arrival rate dominates the peak service rate, and never
+        /// completes before it otherwise (arrivals can only delay bytes).
+        #[test]
+        fn fluid_matches_exact_on_random_traces(
+            // (duration, rate-level) pairs; level 0 is a zero-rate slot.
+            segs in proptest::collection::vec((0.01f64..5.0, 0u32..4), 0..12),
+            gb in 0.1f64..20.0,
+            start in 0.0f64..3.0,
+        ) {
+            let mut segments = vec![(0.0, Rate::from_gigabytes_per_sec(1.0))];
+            let mut t = 0.0;
+            for (dur, level) in segs {
+                t += dur;
+                segments.push((t, Rate::from_gigabytes_per_sec(level as f64 * 0.5)));
+            }
+            // Terminate with a positive rate so transfers finish.
+            t += 1.0;
+            segments.push((t, Rate::from_gigabytes_per_sec(2.0)));
+            let trace = BandwidthTrace::from_segments(&segments).unwrap();
+            let bytes = gb * 1e9;
+
+            let exact = trace.finish_time(start, bytes);
+            // Arrival faster than any service rate: fluid == exact.
+            let fast = trace.fluid_completion(start, trace.max_rate() * 8.0, bytes, 1.0, f64::INFINITY);
+            let rel = (fast - exact).abs() / exact.abs().max(1e-12);
+            prop_assert!(rel <= 1e-9, "fluid {fast} vs exact {exact}");
+            // A slower feed can only finish later, and still finishes.
+            let slow = trace.fluid_completion(start, 0.2e9, bytes, 1.0, f64::INFINITY);
+            prop_assert!(slow.is_finite());
+            prop_assert!(slow >= exact - exact.abs().max(1.0) * 1e-9, "slow {slow} < exact {exact}");
+            // Never before the last byte has even arrived.
+            prop_assert!(slow >= start + bytes / 0.2e9 - 1e-6);
         }
 
         /// The mean rate over the horizon never exceeds the base rate for

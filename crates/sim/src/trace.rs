@@ -106,9 +106,43 @@ impl BandwidthTrace {
     }
 
     /// The rate in effect at time `t_s`, in bytes per second.
+    ///
+    /// **Breakpoint semantics: the lookup is right-continuous.** Segment
+    /// `i` covers the half-open interval `[start_i, start_{i+1})`, so at
+    /// exactly `t == start_i` the *new* segment's rate is already in
+    /// effect — `rate_at(start_i) == rates[i]`, never the outgoing
+    /// segment's rate. Queries before `t = 0` clamp to the first segment
+    /// and queries past the last breakpoint return the final segment's
+    /// rate (it extends forever). Every integrator in the workspace
+    /// ([`BandwidthTrace::finish_time`], [`BandwidthTrace::fluid_completion`])
+    /// shares this convention, which is what makes the fluid and exact
+    /// simulators agree at breakpoint instants.
+    ///
+    /// ```
+    /// use sss_sim::BandwidthTrace;
+    /// use sss_units::Rate;
+    ///
+    /// let t = BandwidthTrace::from_segments(&[
+    ///     (0.0, Rate::from_gigabytes_per_sec(2.0)),
+    ///     (5.0, Rate::from_gigabytes_per_sec(1.0)),
+    /// ])
+    /// .unwrap();
+    /// // At the breakpoint itself the new rate already applies.
+    /// assert_eq!(t.rate_at(5.0), 1.0e9);
+    /// assert_eq!(t.rate_at(4.999_999), 2.0e9);
+    /// ```
     pub fn rate_at(&self, t_s: f64) -> f64 {
         let idx = self.starts_s.partition_point(|&s| s <= t_s);
         self.rates_bps[idx.saturating_sub(1)]
+    }
+
+    /// The largest per-segment rate in the profile, bytes per second.
+    ///
+    /// The Hybrid fidelity uses this as its exactness test: a source that
+    /// generates at or above the peak service rate can never let the link
+    /// starve, which makes the fluid integral the exact answer.
+    pub fn max_rate(&self) -> f64 {
+        self.rates_bps.iter().copied().fold(0.0, f64::max)
     }
 
     /// Mean rate over `[0, horizon_s]` in bytes per second.
@@ -189,6 +223,165 @@ impl BandwidthTrace {
                 }
             }
         }
+    }
+
+    /// Completion time of a **fluid** transfer through a single-server
+    /// queue fed by this trace — the closed-form fast path behind
+    /// [`Fidelity::Fluid`](crate::Fidelity).
+    ///
+    /// `total_bytes` of fluid arrive at a constant `arrival_rate_bps`
+    /// starting at `arrival_start_s` (pass `f64::INFINITY` for an
+    /// instantaneous backlog); the server drains the backlog at the
+    /// traced rate divided by `divisor` and capped at `cap` (the same
+    /// knobs as [`BandwidthTrace::capped_finish_time`]). Instead of
+    /// stepping per byte or per frame, time advances analytically to the
+    /// next trace breakpoint, arrival end, backlog-empty instant or
+    /// completion — `O(segments)` regardless of how many frames the
+    /// bytes notionally split into.
+    ///
+    /// When the arrival rate is at least the peak service rate the
+    /// server never starves and the result equals
+    /// `capped_finish_time(arrival_start_s, total_bytes, ..)` up to
+    /// floating-point re-association — the exactness condition the
+    /// Hybrid fidelity tests with [`BandwidthTrace::max_rate`].
+    ///
+    /// # Panics
+    /// Panics on negative/non-finite `arrival_start_s` or `total_bytes`,
+    /// a non-positive `arrival_rate_bps`, or non-positive
+    /// `divisor`/`cap`.
+    pub fn fluid_completion(
+        &self,
+        arrival_start_s: f64,
+        arrival_rate_bps: f64,
+        total_bytes: f64,
+        divisor: f64,
+        cap: f64,
+    ) -> f64 {
+        assert!(
+            arrival_start_s >= 0.0 && arrival_start_s.is_finite(),
+            "arrival start must be non-negative and finite, got {arrival_start_s}"
+        );
+        assert!(
+            total_bytes >= 0.0 && total_bytes.is_finite(),
+            "bytes must be non-negative and finite, got {total_bytes}"
+        );
+        assert!(
+            arrival_rate_bps > 0.0,
+            "arrival rate must be positive, got {arrival_rate_bps}"
+        );
+        assert!(divisor > 0.0, "divisor must be positive, got {divisor}");
+        assert!(cap > 0.0, "cap must be positive, got {cap}");
+        // sss-lint: allow(D004, zero-byte transfer completes instantly; exact guard)
+        if total_bytes == 0.0 {
+            return arrival_start_s;
+        }
+        if arrival_rate_bps.is_infinite() {
+            // The whole backlog exists up front: a plain traced drain.
+            return self.capped_finish_time(arrival_start_s, total_bytes, divisor, cap);
+        }
+        let arrival_end = arrival_start_s + total_bytes / arrival_rate_bps;
+        let mut t = arrival_start_s;
+        let mut served = 0.0f64;
+        let mut backlog = 0.0f64;
+        let mut i = self.starts_s.partition_point(|&s| s <= t).saturating_sub(1);
+        loop {
+            let mu = (self.rates_bps[i] / divisor).min(cap);
+            let seg_end = self.starts_s.get(i + 1).copied().unwrap_or(f64::INFINITY);
+            let lambda = if t < arrival_end {
+                arrival_rate_bps
+            } else {
+                0.0
+            };
+            // The interval over which both rates are constant.
+            let mut until = seg_end;
+            if t < arrival_end {
+                until = until.min(arrival_end);
+            }
+            // Service proceeds at μ while a backlog exists, else at the
+            // arrival rate (capped by μ).
+            let drain = if backlog > 0.0 { mu } else { mu.min(lambda) };
+            // The backlog-empty instant, when one exists in this regime.
+            let empty = if backlog > 0.0 && mu > lambda {
+                t + backlog / (mu - lambda)
+            } else {
+                f64::INFINITY
+            };
+            if drain > 0.0 {
+                // While fluid still arrives, the service target is the
+                // untransferred total; once arrivals cease it is the
+                // backlog itself — the same number in exact arithmetic,
+                // but using the backlog keeps the completion and
+                // backlog-empty events bitwise-coincident.
+                let remaining = if lambda > 0.0 {
+                    total_bytes - served
+                } else {
+                    backlog
+                };
+                let done = t + remaining / drain;
+                // Completion is only reachable at `drain` while that rate
+                // holds: up to the interval boundary, and — when a
+                // backlog is draining — no further than the instant it
+                // empties (service then slows to the arrival rate).
+                if done <= until.min(empty) {
+                    return done;
+                }
+            }
+            // Advance to the next analytic event. Book-keep the state
+            // exactly at the event rather than integrating a residual:
+            // crossing `empty` zeroes the backlog by definition, and
+            // crossing the arrival end means every byte not yet served
+            // is queued — both identities hold in exact arithmetic, and
+            // asserting them kills float-drift stalls.
+            let next;
+            if empty <= until {
+                next = empty;
+                served += drain * (next - t);
+                backlog = 0.0;
+            } else {
+                next = until;
+                let dt = next - t;
+                served += drain * dt;
+                backlog = (backlog + (lambda - drain) * dt).max(0.0);
+            }
+            if lambda > 0.0 && next >= arrival_end {
+                backlog = (total_bytes - served).max(0.0);
+                if backlog <= 0.0 {
+                    // Service kept pace with every arrival: the last
+                    // byte was served the instant it arrived.
+                    return next;
+                }
+            }
+            if next >= seg_end {
+                i += 1;
+            }
+            t = next;
+        }
+    }
+
+    /// The same breakpoints with every rate transformed by `f` — e.g.
+    /// the streaming fluid path folding a fixed per-message overhead
+    /// into an effective per-segment rate.
+    ///
+    /// # Errors
+    /// Fails when `f` produces a non-finite or negative rate, or maps
+    /// the final segment to a non-positive rate (transfers must
+    /// terminate).
+    pub fn mapped_rates(&self, f: impl Fn(f64) -> f64) -> Result<Self, String> {
+        let rates_bps: Vec<f64> = self.rates_bps.iter().map(|&r| f(r)).collect();
+        for (start, r) in self.starts_s.iter().zip(&rates_bps) {
+            if !(r.is_finite() && *r >= 0.0) {
+                return Err(format!(
+                    "mapped rate at t={start} must be finite and >= 0, got {r}"
+                ));
+            }
+        }
+        if *rates_bps.last().expect("non-empty") <= 0.0 {
+            return Err("the mapped final rate must stay positive".into());
+        }
+        Ok(BandwidthTrace {
+            starts_s: self.starts_s.clone(),
+            rates_bps,
+        })
     }
 
     /// The same profile with every rate multiplied by `factor` (e.g. to
@@ -465,6 +658,113 @@ mod tests {
         let t = TraceShape::Outage.build(gbs(2.0), 10.0, 0).scaled(0.5);
         assert_eq!(t.rate_at(0.0), 1.0e9);
         assert_eq!(t.rate_at(3.0), 0.0);
+    }
+
+    /// Breakpoint-boundary semantics: `rate_at` is right-continuous —
+    /// at exactly `t == start_i` the incoming segment's rate applies —
+    /// for every bundled shape, at t == 0, at every interior breakpoint
+    /// and at t == horizon.
+    #[test]
+    fn rate_lookup_is_right_continuous_at_breakpoints() {
+        let base = gbs(1.0);
+        let horizon = 10.0;
+        for shape in TraceShape::ALL {
+            let t = shape.build(base, horizon, 42);
+            // t == 0 is itself the first breakpoint: the first segment's
+            // rate is in effect (and negative queries clamp to it).
+            assert_eq!(t.rate_at(0.0), t.rates_bps[0], "{shape}: t=0");
+            assert_eq!(t.rate_at(-1.0), t.rates_bps[0], "{shape}: t<0 clamps");
+            for (i, &start) in t.starts_s.iter().enumerate() {
+                assert_eq!(
+                    t.rate_at(start),
+                    t.rates_bps[i],
+                    "{shape}: at breakpoint t={start} the new segment must rule"
+                );
+                // Just before the breakpoint the outgoing segment rules.
+                if i > 0 {
+                    let before = start - start.abs() * 1e-12 - 1e-300;
+                    assert_eq!(
+                        t.rate_at(before),
+                        t.rates_bps[i - 1],
+                        "{shape}: left of breakpoint t={start}"
+                    );
+                }
+            }
+            // t == horizon: inside the shapes' repetition envelope (the
+            // shapes extend 8 horizons before settling); the lookup is
+            // the segment containing the horizon, never a panic.
+            let at_horizon = t.rate_at(horizon);
+            let idx = t.starts_s.partition_point(|&s| s <= horizon) - 1;
+            assert_eq!(at_horizon, t.rates_bps[idx], "{shape}: t=horizon");
+            // Far past the last breakpoint the final rate extends forever.
+            let last = *t.starts_s.last().unwrap();
+            assert_eq!(t.rate_at(last), *t.rates_bps.last().unwrap());
+            assert_eq!(t.rate_at(last + 1e9), *t.rates_bps.last().unwrap());
+        }
+    }
+
+    #[test]
+    fn max_rate_is_the_peak_segment() {
+        let base = gbs(2.0);
+        assert_eq!(BandwidthTrace::steady(base).max_rate(), 2.0e9);
+        for shape in TraceShape::ALL {
+            let t = shape.build(base, 5.0, 7);
+            assert_eq!(t.max_rate(), 2.0e9, "{shape}: shapes only degrade");
+        }
+    }
+
+    #[test]
+    fn fluid_with_instant_backlog_is_the_traced_drain() {
+        for shape in TraceShape::ALL {
+            let t = shape.build(gbs(1.0), 10.0, 3);
+            let exact = t.capped_finish_time(0.5, 7.0e9, 2.0, 0.8e9);
+            let fluid = t.fluid_completion(0.5, f64::INFINITY, 7.0e9, 2.0, 0.8e9);
+            assert_eq!(fluid, exact, "{shape}");
+        }
+    }
+
+    #[test]
+    fn fluid_fast_arrivals_match_finish_time() {
+        // An arrival rate at or above the peak service rate never lets
+        // the server starve: the fluid completion is the plain traced
+        // finish time (the Hybrid exactness condition).
+        for shape in TraceShape::ALL {
+            let t = shape.build(gbs(1.0), 10.0, 11);
+            let exact = t.finish_time(1.0, 9.0e9);
+            let fluid = t.fluid_completion(1.0, t.max_rate() * 4.0, 9.0e9, 1.0, f64::INFINITY);
+            let rel = (fluid - exact).abs() / exact.abs().max(1e-12);
+            assert!(rel <= 1e-9, "{shape}: fluid {fluid} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn fluid_slow_arrivals_ride_the_arrival_end() {
+        // A 1 MB/s trickle into a 1 GB/s server: the queue never forms
+        // and the last byte is served the instant it arrives.
+        let t = BandwidthTrace::steady(gbs(1.0));
+        let done = t.fluid_completion(2.0, 1.0e6, 5.0e6, 1.0, f64::INFINITY);
+        assert!((done - 7.0).abs() < 1e-9, "got {done}");
+    }
+
+    #[test]
+    fn fluid_outage_stalls_like_the_exact_integrator() {
+        let t = TraceShape::Outage.build(gbs(1.0), 10.0, 0);
+        // Instant backlog of 3.5 GB: 2.5 GB drain before the outage at
+        // t=2.5, the rest waits until t=6.0 — finishing at 7.0 either way.
+        let fluid = t.fluid_completion(0.0, f64::INFINITY, 3.5e9, 1.0, f64::INFINITY);
+        assert_eq!(fluid, 7.0);
+        // A 0.5 GB/s feed of 4 GB backs up across the outage window:
+        // 1.25 GB served arrival-limited by t=2.5, 1.75 GB queue during
+        // the stall, service resumes at 6.0 and the backlog (0.75 GB at
+        // the t=8 arrival end) drains at full rate — done at 8.75 s.
+        let done = t.fluid_completion(0.0, 0.5e9, 4.0e9, 1.0, f64::INFINITY);
+        assert!((done - 8.75).abs() <= 1e-9, "got {done}");
+    }
+
+    #[test]
+    fn fluid_zero_bytes_complete_at_arrival_start() {
+        let t = BandwidthTrace::steady(gbs(1.0));
+        assert_eq!(t.fluid_completion(3.0, 1.0e9, 0.0, 1.0, f64::INFINITY), 3.0);
     }
 
     #[test]

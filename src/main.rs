@@ -31,7 +31,7 @@ use stream_score::loadgen::{
 use stream_score::prelude::*;
 use stream_score::report::CharGrid;
 use stream_score::server::{Server, ServerConfig};
-use stream_score::sim::TraceShape;
+use stream_score::sim::{fluid_tolerance, Fidelity, TraceShape};
 
 fn usage() -> &'static str {
     "stream-score — to stream or not to stream?\n\
@@ -49,8 +49,9 @@ fn usage() -> &'static str {
                               [--seed <N>] [--format text|md]\n\
        stream-score simulate  [--scenario <ID>] [--shapes steady,diurnal,bursty,outage]\n\
                               [--frames <N>] [--files <N>] [--seed <N>]\n\
+                              [--fidelity exact|fluid|hybrid]\n\
                               [--mode parallel|sequential] [--workers <N>]\n\
-                              [--format text|md|csv] [--check true]\n\
+                              [--format text|md|csv] [--check true] [--tolerance <T>]\n\
        stream-score frontier  --scenario <ID> | (same flags as decide)\n\
                               --x <AXIS:LO:HI[:log]> --y <AXIS:LO:HI[:log]>\n\
                               [--z <AXIS:LO:HI[:log]> --slices <N>]\n\
@@ -376,6 +377,9 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     config.frames = flag_or(flags, "frames", config.frames)?;
     config.files = flag_or(flags, "files", config.files)?;
     config.seed = flag_or(flags, "seed", config.seed)?;
+    if let Some(raw) = flags.get("fidelity") {
+        config.fidelity = Fidelity::parse(raw)?;
+    }
     config.validate()?;
 
     let format = flags.get("format").map(String::as_str);
@@ -389,6 +393,27 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
         Some("true") => true,
         Some("false") | None => false,
         Some(other) => return Err(format!("bad --check {other:?} (use true or false)")),
+    };
+    // An explicit steady-check tolerance must be a usable number: zero,
+    // negative, NaN or infinite tolerances would make the gate pass (or
+    // fail) vacuously, so they are rejected up front with the offending
+    // value named.
+    let steady_tolerance = match flags.get("tolerance") {
+        Some(raw) => {
+            if !check {
+                return Err("--tolerance only affects --check; pass --check true".into());
+            }
+            let t: f64 = raw
+                .parse()
+                .map_err(|_| format!("bad --tolerance {raw:?} (expected a number)"))?;
+            if !(t.is_finite() && t > 0.0) {
+                return Err(format!(
+                    "--tolerance must be a positive finite number, got {raw:?}"
+                ));
+            }
+            t
+        }
+        None => STEADY_TOLERANCE,
     };
 
     let replay = match flags.get("scenario") {
@@ -442,10 +467,10 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
         let steady = report
             .shape_summary(TraceShape::Steady)
             .ok_or("--check needs the steady shape in --shapes")?;
-        if steady.max_rel_err > STEADY_TOLERANCE {
+        if steady.max_rel_err > steady_tolerance {
             return Err(format!(
                 "steady-trace replay drifted {} from the closed form (tolerance {})",
-                steady.max_rel_err, STEADY_TOLERANCE
+                steady.max_rel_err, steady_tolerance
             ));
         }
         if steady.agreement < 1.0 {
@@ -454,13 +479,45 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
                 (1.0 - steady.agreement) * 100.0
             ));
         }
+        // Under a fluid/hybrid fidelity the check also gates the fast
+        // path itself: replay the same cells through the exact integrator
+        // and hold every cell to the per-shape tolerance the library
+        // exports (the same constants the test suites use).
+        let mut fluid_max_rel = None;
+        if replay.config().fidelity != Fidelity::Exact {
+            let exact = SessionReplay::new(
+                replay.scenarios().to_vec(),
+                replay.config().clone().with_fidelity(Fidelity::Exact),
+            )?
+            .run_sequential();
+            let mut max_rel = 0.0f64;
+            for (f, e) in report.records.iter().zip(&exact.records) {
+                let rel = (f.sim_t_pct_s - e.sim_t_pct_s).abs() / e.sim_t_pct_s.abs().max(1e-12);
+                max_rel = max_rel.max(rel);
+                let tol = fluid_tolerance(e.shape);
+                if rel > tol {
+                    return Err(format!(
+                        "{} under {}: fluid T_pct {} drifted {rel:.3e} from the exact \
+                         integrator's {} (per-shape tolerance {tol:.0e})",
+                        f.scenario_id, f.shape, f.sim_t_pct_s, e.sim_t_pct_s
+                    ));
+                }
+            }
+            fluid_max_rel = Some(max_rel);
+        }
         // The confirmation is human-facing chatter; never append it to
         // machine-readable CSV output.
         if format != Some("csv") {
             println!(
-                "check passed: steady max err {:.2e} <= {STEADY_TOLERANCE:.0e}, agreement 100%",
+                "check passed: steady max err {:.2e} <= {steady_tolerance:.0e}, agreement 100%",
                 steady.max_rel_err
             );
+            if let Some(max_rel) = fluid_max_rel {
+                println!(
+                    "fluid parity passed: max |fluid - exact| / exact = {max_rel:.2e} \
+                     within the per-shape tolerances"
+                );
+            }
         }
     }
     Ok(())
