@@ -23,6 +23,7 @@ fn main() {
         "frontier_map",
         "batch_scaling",
         "sim_validation",
+        "fleet_contention",
     ];
     let exe = std::env::current_exe().expect("own path");
     let bin_dir = exe.parent().expect("bin dir");

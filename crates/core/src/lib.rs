@@ -59,6 +59,7 @@
 
 pub mod batch;
 pub mod congestion;
+pub mod contention;
 pub mod decision;
 pub mod delay;
 pub mod frontier;
@@ -73,6 +74,7 @@ pub mod tiers;
 
 pub use batch::{BatchEvaluator, BatchView, EvalEngine, ParamsBatch};
 pub use congestion::{CongestionCurve, Curve1D, MG1Reference, MM1Reference};
+pub use contention::{contended_decision, ContentionSummary};
 pub use decision::{decide, decide_batch, BreakEven, Decision, DecisionReport, RegimeMap};
 pub use delay::{ContinuumApproximation, DelayDecomposition};
 pub use frontier::{

@@ -46,6 +46,7 @@
 //! ```
 
 mod experiment;
+mod fleet;
 mod frontier;
 mod httpload;
 mod replay;
@@ -53,6 +54,10 @@ mod suite;
 mod sweep;
 
 pub use experiment::{ClientRecord, Experiment, ExperimentResult, SpawnStrategy, TransferLog};
+pub use fleet::{
+    fleet_csv, fleet_scenario_csv, fleet_scenario_table, fleet_summary_table, fleet_table,
+    AdmissionPolicy, FleetConfig, FleetRecord, FleetReport, FleetSim, ScenarioContention,
+};
 pub use frontier::{boundary_csv, frontier_csv, frontier_table, FrontierJob};
 pub use httpload::{loadtest_table, run_http_load, HttpLoadReport, HttpLoadSpec};
 pub use replay::{
@@ -169,6 +174,43 @@ mod proptests {
                     );
                 }
             }
+        }
+
+        /// Fleet makespan is monotone non-decreasing in offered load
+        /// under FIFO — in the strong, seed-stable sense: appending
+        /// sessions to the same arrival stream (the first `n` arrivals,
+        /// scenarios and trace seeds are position-derived, hence
+        /// identical) can only delay existing work, never speed it up.
+        #[test]
+        fn fifo_makespan_monotone_in_offered_sessions(
+            seed in any::<u64>(),
+            n in 2u32..14,
+            extra in 1u32..14,
+            load in 1.0f64..12.0,
+        ) {
+            let run = |sessions: u32| {
+                let mut config = FleetConfig::quick(seed).with_load(load);
+                config.sessions = sessions;
+                config.slots = 2;
+                FleetSim::bundled(config)
+                    .unwrap()
+                    .run_sequential()
+                    .unwrap()
+            };
+            let small = run(n);
+            let big = run(n + extra);
+            prop_assert_eq!(small.records.len() as u32, n);
+            // The shared arrival prefix is bit-identical.
+            for (a, b) in small.records.iter().zip(&big.records) {
+                prop_assert_eq!(a.session, b.session);
+                prop_assert!(a.arrival_s == b.arrival_s);
+                prop_assert_eq!(a.scenario_id.clone(), b.scenario_id.clone());
+            }
+            prop_assert!(
+                small.makespan_s <= big.makespan_s * (1.0 + 1e-9) + 1e-9,
+                "makespan shrank: {} sessions -> {}, {} sessions -> {}",
+                n, small.makespan_s, n + extra, big.makespan_s
+            );
         }
     }
 }

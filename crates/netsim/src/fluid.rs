@@ -26,6 +26,65 @@ use sss_units::TimeDelta;
 use crate::config::SimConfig;
 use crate::sim::FlowSpec;
 
+/// Max-min fair **progressive filling**: distribute `capacity` across
+/// flows whose individual demands are bounded by `caps`, so that no flow
+/// can be granted more without taking from a flow with an equal or
+/// smaller share.
+///
+/// Repeatedly offers every unfrozen flow an equal share of the remaining
+/// capacity; flows whose cap is at or under the offer freeze at their cap
+/// (the capacity they decline is redistributed), and the rest split what
+/// is left evenly. This is the allocation kernel behind
+/// [`FluidSimulator`]'s shared-bottleneck mechanics, exported so other
+/// layers (the multi-tenant fleet simulator in `sss-loadgen`) share the
+/// exact same arithmetic.
+///
+/// A frozen flow's rate is assigned as `caps[i]` verbatim — bit-equal to
+/// the demand, which is what lets callers distinguish "granted its full
+/// demand" from "clipped by contention" with an ordinary `<` comparison.
+///
+/// ```
+/// use sss_netsim::progressive_fill;
+///
+/// // 10 units across demands [2, 9, 9]: flow 0 freezes at 2, the
+/// // other two split the remaining 8.
+/// assert_eq!(progressive_fill(10.0, &[2.0, 9.0, 9.0]), vec![2.0, 4.0, 4.0]);
+/// ```
+pub fn progressive_fill(capacity: f64, caps: &[f64]) -> Vec<f64> {
+    let mut rates = vec![0.0f64; caps.len()];
+    let mut frozen = vec![false; caps.len()];
+    loop {
+        let open = frozen.iter().filter(|f| !**f).count();
+        if open == 0 {
+            break;
+        }
+        let used: f64 = rates
+            .iter()
+            .zip(&frozen)
+            .filter(|(_, f)| **f)
+            .map(|(r, _)| r)
+            .sum();
+        let share = ((capacity - used) / open as f64).max(0.0);
+        let mut froze_any = false;
+        for i in 0..caps.len() {
+            if !frozen[i] && caps[i] <= share {
+                rates[i] = caps[i];
+                frozen[i] = true;
+                froze_any = true;
+            }
+        }
+        if !froze_any {
+            for i in 0..caps.len() {
+                if !frozen[i] {
+                    rates[i] = share;
+                }
+            }
+            break;
+        }
+    }
+    rates
+}
+
 /// Outcome of one fluid flow.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FluidFlowRecord {
@@ -139,38 +198,7 @@ impl FluidSimulator {
             .iter()
             .map(|&f| access / per_client[self.flows[f].client as usize] as f64)
             .collect();
-        let mut rates = vec![0.0f64; active.len()];
-        let mut frozen = vec![false; active.len()];
-        loop {
-            let open = frozen.iter().filter(|f| !**f).count();
-            if open == 0 {
-                break;
-            }
-            let used: f64 = rates
-                .iter()
-                .zip(&frozen)
-                .filter(|(_, f)| **f)
-                .map(|(r, _)| r)
-                .sum();
-            let share = ((bottleneck - used) / open as f64).max(0.0);
-            let mut froze_any = false;
-            for i in 0..rates.len() {
-                if !frozen[i] && caps[i] <= share {
-                    rates[i] = caps[i];
-                    frozen[i] = true;
-                    froze_any = true;
-                }
-            }
-            if !froze_any {
-                for i in 0..rates.len() {
-                    if !frozen[i] {
-                        rates[i] = share;
-                    }
-                }
-                break;
-            }
-        }
-        rates
+        progressive_fill(bottleneck, &caps)
     }
 
     /// Run to completion and report. Deterministic, and — because every
@@ -391,6 +419,34 @@ mod tests {
         // so nobody freezes and all four get an equal bottleneck share.
         for r in &rates {
             assert!((r - access / 4.0).abs() < 1e-6, "{rates:?}");
+        }
+    }
+
+    #[test]
+    fn progressive_fill_freezes_small_demands_at_their_cap() {
+        let rates = progressive_fill(10.0, &[2.0, 9.0, 9.0]);
+        // The frozen flow's grant is its cap *verbatim*, so `<` cleanly
+        // separates clipped from unclipped flows.
+        assert!(rates[0] >= 2.0);
+        assert!((rates[1] - 4.0).abs() < 1e-12 && (rates[2] - 4.0).abs() < 1e-12);
+        assert!(rates[1] < 9.0 && rates[2] < 9.0);
+    }
+
+    #[test]
+    fn progressive_fill_grants_every_demand_when_capacity_suffices() {
+        let caps = [1.0, 2.5, 0.0];
+        let rates = progressive_fill(100.0, &caps);
+        for (r, c) in rates.iter().zip(&caps) {
+            assert!(r >= c, "{rates:?}");
+        }
+    }
+
+    #[test]
+    fn progressive_fill_empty_and_zero_capacity() {
+        assert!(progressive_fill(5.0, &[]).is_empty());
+        let rates = progressive_fill(0.0, &[1.0, 1.0]);
+        for r in &rates {
+            assert!(*r <= 0.0, "{rates:?}");
         }
     }
 

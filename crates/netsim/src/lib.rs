@@ -34,7 +34,7 @@ mod sim;
 mod tcp;
 
 pub use config::{LinkConfig, Qdisc, SimConfig, TcpConfig};
-pub use fluid::{FluidFlowRecord, FluidReport, FluidSimulator};
+pub use fluid::{progressive_fill, FluidFlowRecord, FluidReport, FluidSimulator};
 pub use link::{Link, LinkStats};
 pub use packet::{FlowId, Packet, PacketKind};
 pub use sim::{CwndSample, FlowRecord, FlowSpec, SimReport, Simulator};

@@ -11,7 +11,9 @@ use sss_core::{
     decide, Axis, BreakEven, Decision, DecisionReport, FrontierSpec, ModelParams, ParamError,
     Scenario, Sensitivity, Tier, TierReport,
 };
-use sss_loadgen::{FrontierJob, ReplayConfig, SessionReplay};
+use sss_loadgen::{
+    AdmissionPolicy, FleetConfig, FleetSim, FrontierJob, ReplayConfig, SessionReplay,
+};
 use sss_sim::{Fidelity, TraceShape};
 use sss_units::{Bytes, ComputeIntensity, FlopRate, Rate, Ratio};
 
@@ -341,6 +343,131 @@ impl SimulateRequest {
             tier: Tier::NearRealTime,
         };
         SessionReplay::new(vec![scenario], config)
+    }
+}
+
+fn default_fleet_sessions() -> u32 {
+    26
+}
+
+fn default_fleet_load() -> f64 {
+    4.0
+}
+
+fn default_fleet_shape() -> String {
+    "steady".into()
+}
+
+fn default_fleet_policy() -> String {
+    "fifo".into()
+}
+
+fn default_fleet_slots() -> u32 {
+    4
+}
+
+fn default_fleet_wan_gbps() -> f64 {
+    100.0
+}
+
+fn default_fleet_frames() -> u32 {
+    16
+}
+
+fn default_fleet_fidelity() -> String {
+    "fluid".into()
+}
+
+/// Body of `POST /fleet`: a multi-tenant fleet drawn from the bundled
+/// scenario catalog, replayed under WAN sharing and DTN slot contention.
+///
+/// The response is the serialized [`sss_loadgen::FleetReport`] —
+/// per-session contended completions, per-scenario mispredict rates and
+/// the slowdown distribution; byte-identical to what `stream-score fleet`
+/// computes for the same knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetRequest {
+    /// Sessions drawn from the catalog (default 26, max
+    /// [`FleetRequest::MAX_SESSIONS`]).
+    #[serde(default = "default_fleet_sessions")]
+    pub sessions: u32,
+    /// Offered load in Erlangs (default 4).
+    #[serde(default = "default_fleet_load")]
+    pub load: f64,
+    /// Trace-shape label for every session's private path (default
+    /// `"steady"`).
+    #[serde(default = "default_fleet_shape")]
+    pub shape: String,
+    /// Admission-policy label: `"fifo"`, `"fair-share"` or `"priority"`
+    /// (default `"fifo"`).
+    #[serde(default = "default_fleet_policy")]
+    pub policy: String,
+    /// Concurrent DTN transfer slots (default 4).
+    #[serde(default = "default_fleet_slots")]
+    pub slots: u32,
+    /// Shared WAN backbone capacity in Gbps (default 100).
+    #[serde(default = "default_fleet_wan_gbps")]
+    pub wan_gbps: f64,
+    /// Frames per session for the movement pipeline (default 16).
+    #[serde(default = "default_fleet_frames")]
+    pub frames: u32,
+    /// Master seed (default 42).
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// Movement integrator label (default `"fluid"`).
+    #[serde(default = "default_fleet_fidelity")]
+    pub fidelity: String,
+}
+
+impl Default for FleetRequest {
+    fn default() -> Self {
+        FleetRequest {
+            sessions: default_fleet_sessions(),
+            load: default_fleet_load(),
+            shape: default_fleet_shape(),
+            policy: default_fleet_policy(),
+            slots: default_fleet_slots(),
+            wan_gbps: default_fleet_wan_gbps(),
+            frames: default_fleet_frames(),
+            seed: default_seed(),
+            fidelity: default_fleet_fidelity(),
+        }
+    }
+}
+
+impl FleetRequest {
+    /// Largest per-request fleet the service simulates — a service cap
+    /// well under the library's own bound, because each session costs a
+    /// pipeline replay.
+    pub const MAX_SESSIONS: u32 = 512;
+
+    /// Validate the request into a runnable fleet.
+    pub fn fleet(&self) -> Result<FleetSim, String> {
+        if self.sessions > Self::MAX_SESSIONS {
+            return Err(format!(
+                "sessions {} exceeds the service cap of {}",
+                self.sessions,
+                Self::MAX_SESSIONS
+            ));
+        }
+        if !(self.wan_gbps.is_finite() && self.wan_gbps > 0.0) {
+            return Err(format!(
+                "wan_gbps must be positive and finite, got {}",
+                self.wan_gbps
+            ));
+        }
+        let config = FleetConfig {
+            sessions: self.sessions,
+            load: self.load,
+            shape: TraceShape::parse(&self.shape)?,
+            policy: AdmissionPolicy::parse(&self.policy)?,
+            slots: self.slots,
+            wan: Rate::from_gbps(self.wan_gbps),
+            frames: self.frames,
+            seed: self.seed,
+            fidelity: Fidelity::parse(&self.fidelity)?,
+        };
+        FleetSim::bundled(config)
     }
 }
 

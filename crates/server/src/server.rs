@@ -14,7 +14,7 @@ use sss_units::Ratio;
 use sss_exec::ThreadPool;
 
 use crate::api::{
-    ErrorResponse, FrontierRequest, ScenariosResponse, SimulateRequest, TiersRequest,
+    ErrorResponse, FleetRequest, FrontierRequest, ScenariosResponse, SimulateRequest, TiersRequest,
 };
 use crate::batch::{BatchStats, Batcher};
 use crate::cache::{CacheKey, CacheStats, DecisionCache, ResponseCache};
@@ -84,6 +84,42 @@ const FRONTIER_CACHE_CAP: usize = 64;
 /// `/simulate` bodies are mid-sized (one record per trace shape), so
 /// their cache sits between the decide and frontier caps.
 const SIMULATE_CACHE_CAP: usize = 256;
+
+/// `/fleet` bodies carry one record per session (hundreds of sessions at
+/// the service cap), so their cache is sized like `/frontier`'s.
+const FLEET_CACHE_CAP: usize = 64;
+
+/// The identity of a `/fleet` query: every knob that shapes the fleet,
+/// with float knobs compared by their exact bits (the engine is a pure
+/// function of them, so bit-equal knobs mean byte-equal bodies).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FleetKey {
+    sessions: u32,
+    load_bits: u64,
+    shape: String,
+    policy: String,
+    slots: u32,
+    wan_bits: u64,
+    frames: u32,
+    seed: u64,
+    fidelity: String,
+}
+
+impl FleetKey {
+    fn of(request: &FleetRequest) -> Self {
+        FleetKey {
+            sessions: request.sessions,
+            load_bits: request.load.to_bits(),
+            shape: request.shape.clone(),
+            policy: request.policy.clone(),
+            slots: request.slots,
+            wan_bits: request.wan_gbps.to_bits(),
+            frames: request.frames,
+            seed: request.seed,
+            fidelity: request.fidelity.clone(),
+        }
+    }
+}
 
 /// The identity of a `/simulate` query: quantized base parameters plus
 /// every knob that shapes the replay.
@@ -189,6 +225,58 @@ impl<K: Clone + Eq + std::hash::Hash> SingleFlight<K> {
         drop(claim);
         body
     }
+
+    /// [`SingleFlight::serve`] for a compute step that can fail: only a
+    /// success is memoized, so a failure body answers this caller alone
+    /// and an identical later request recomputes instead of being served
+    /// a cached error.
+    fn serve_fallible(
+        &self,
+        cache: &ResponseCache<K>,
+        key: K,
+        compute: impl FnOnce() -> Result<Arc<str>, Arc<str>>,
+    ) -> Result<Arc<str>, Arc<str>> {
+        loop {
+            if let Some(hit) = cache.get(&key) {
+                return Ok(hit);
+            }
+            let mut inflight = self.lock();
+            if inflight.insert(key.clone()) {
+                break;
+            }
+            drop(
+                self.done
+                    .wait(inflight)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+            // A computer that *failed* releases its claim without an
+            // insert; the re-check misses and this waiter takes over.
+        }
+        struct Claim<'a, K: Clone + Eq + std::hash::Hash> {
+            flight: &'a SingleFlight<K>,
+            key: &'a K,
+        }
+        impl<K: Clone + Eq + std::hash::Hash> Drop for Claim<'_, K> {
+            fn drop(&mut self) {
+                self.flight.lock().remove(self.key);
+                self.flight.done.notify_all();
+            }
+        }
+        let claim = Claim {
+            flight: self,
+            key: &key,
+        };
+        if let Some(hit) = cache.get(&key) {
+            drop(claim);
+            return Ok(hit);
+        }
+        let result = compute();
+        if let Ok(body) = &result {
+            cache.insert(key.clone(), body.clone());
+        }
+        drop(claim);
+        result
+    }
 }
 
 /// Everything a connection thread needs, shared behind one `Arc`.
@@ -201,6 +289,8 @@ struct AppState {
     frontier_flight: SingleFlight<FrontierKey>,
     simulate_cache: ResponseCache<SimulateKey>,
     simulate_flight: SingleFlight<SimulateKey>,
+    fleet_cache: ResponseCache<FleetKey>,
+    fleet_flight: SingleFlight<FleetKey>,
     batcher: Batcher,
     scenarios_body: Arc<str>,
     started: Instant,
@@ -230,6 +320,8 @@ pub struct Health {
     pub frontier_cache: CacheStats,
     /// `/simulate` body-cache counters.
     pub simulate_cache: CacheStats,
+    /// `/fleet` body-cache counters.
+    pub fleet_cache: CacheStats,
 }
 
 /// A bound-but-not-yet-serving instance: inspect [`Server::local_addr`],
@@ -265,6 +357,8 @@ impl Server {
                 frontier_flight: SingleFlight::new(),
                 simulate_cache: ResponseCache::new(config.cache_capacity.min(SIMULATE_CACHE_CAP)),
                 simulate_flight: SingleFlight::new(),
+                fleet_cache: ResponseCache::new(config.cache_capacity.min(FLEET_CACHE_CAP)),
+                fleet_flight: SingleFlight::new(),
                 batcher,
                 scenarios_body,
                 started,
@@ -412,9 +506,13 @@ fn route(request: &Request, state: &AppState) -> (u16, Arc<str>) {
         ("POST", "/tiers") => handle_tiers(&request.body),
         ("POST", "/frontier") => handle_frontier(&request.body, state),
         ("POST", "/simulate") => handle_simulate(&request.body, state),
+        ("POST", "/fleet") => handle_fleet(&request.body, state),
         ("GET", "/scenarios") => (200, state.scenarios_body.clone()),
         ("GET", "/healthz") => handle_healthz(state),
-        (_, "/decide" | "/tiers" | "/frontier" | "/simulate" | "/scenarios" | "/healthz") => (
+        (
+            _,
+            "/decide" | "/tiers" | "/frontier" | "/simulate" | "/fleet" | "/scenarios" | "/healthz",
+        ) => (
             405,
             error_body(format!(
                 "method {} not allowed on {}",
@@ -488,6 +586,42 @@ fn handle_simulate(body: &[u8], state: &AppState) -> (u16, Arc<str>) {
     (200, body)
 }
 
+/// `POST /fleet`: replay a multi-tenant fleet of catalog sessions under
+/// WAN sharing and DTN slot contention, memoizing whole response bodies
+/// in [`AppState::fleet_cache`]. The fleet is position-seeded and its
+/// per-session movement replays fan across the worker pool, so the bytes
+/// served are independent of worker count and of the hit/miss boundary.
+fn handle_fleet(body: &[u8], state: &AppState) -> (u16, Arc<str>) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, error_body("body is not UTF-8".into())),
+    };
+    let request: FleetRequest = match serde_json::from_str(text) {
+        Ok(r) => r,
+        Err(e) => return (400, error_body(format!("bad fleet request: {e}"))),
+    };
+    let fleet = match request.fleet() {
+        Ok(fleet) => fleet,
+        Err(e) => return (400, error_body(e)),
+    };
+    let key = FleetKey::of(&request);
+    let served = state
+        .fleet_flight
+        .serve_fallible(&state.fleet_cache, key, || {
+            match fleet.run(&state.miss_pool) {
+                Ok(report) => Ok(json_body(&report)),
+                // Unreachable by construction (the engine only fails on a
+                // self-composed trace its own kernel rejects), but a 500
+                // body must not be memoized as this key's answer.
+                Err(e) => Err(error_body(format!("internal: {e}"))),
+            }
+        });
+    match served {
+        Ok(body) => (200, body),
+        Err(body) => (500, body),
+    }
+}
+
 fn handle_tiers(body: &[u8]) -> (u16, Arc<str>) {
     let text = match std::str::from_utf8(body) {
         Ok(t) => t,
@@ -522,6 +656,7 @@ fn handle_healthz(state: &AppState) -> (u16, Arc<str>) {
         batch: state.batcher.stats(),
         frontier_cache: state.frontier_cache.stats(),
         simulate_cache: state.simulate_cache.stats(),
+        fleet_cache: state.fleet_cache.stats(),
     };
     (200, json_body(&health))
 }

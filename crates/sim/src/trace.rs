@@ -136,6 +136,16 @@ impl BandwidthTrace {
         self.rates_bps[idx.saturating_sub(1)]
     }
 
+    /// The next breakpoint strictly after `t_s`, or `None` when the
+    /// current segment extends forever. The returned value is a segment
+    /// start verbatim (no re-derived arithmetic), so event-driven
+    /// integrators that advance to it land exactly on the breakpoint
+    /// under the right-continuous [`BandwidthTrace::rate_at`] convention.
+    pub fn next_change(&self, t_s: f64) -> Option<f64> {
+        let idx = self.starts_s.partition_point(|&s| s <= t_s);
+        self.starts_s.get(idx).copied()
+    }
+
     /// The largest per-segment rate in the profile, bytes per second.
     ///
     /// The Hybrid fidelity uses this as its exactness test: a source that
@@ -564,6 +574,17 @@ mod tests {
         assert_eq!(t.rate_at(0.0), 2.0e9);
         assert_eq!(t.rate_at(1e9), 2.0e9);
         assert_eq!(t.mean_rate(10.0), 2.0e9);
+    }
+
+    #[test]
+    fn next_change_walks_the_breakpoints() {
+        let t = BandwidthTrace::from_segments(&[(0.0, gbs(2.0)), (5.0, gbs(1.0))]).unwrap();
+        assert_eq!(t.next_change(0.0), Some(5.0));
+        assert_eq!(t.next_change(4.999), Some(5.0));
+        // At the breakpoint the new segment is already in effect, so the
+        // next change is strictly later (here: none).
+        assert_eq!(t.next_change(5.0), None);
+        assert_eq!(BandwidthTrace::steady(gbs(1.0)).next_change(0.0), None);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //!                     --remote 340TF --bw 25Gbps --alpha 0.8 [--theta 1.5]
 //! stream-score scenarios            # evaluate every bundled facility scenario
 //! stream-score simulate             # trace-driven replay vs the closed-form model
+//! stream-score fleet --load 8       # multi-tenant fleet under WAN/DTN contention
 //! stream-score frontier --scenario lcls2 --x wan_gbps:1:400 --y data_tb:0.1:100
 //! stream-score probe [--seconds 3]  # mini congestion sweep on the testbed model
 //! stream-score tiers --data 2GB --intensity 17TF/GB --local 10TF \
@@ -24,8 +25,9 @@ use stream_score::core::planner::plan_for_tier;
 use stream_score::core::sensitivity::Sensitivity;
 use stream_score::core::EvalEngine;
 use stream_score::loadgen::{
-    boundary_csv, frontier_csv, frontier_table, loadtest_table, replay_csv, replay_summary_table,
-    replay_table, run_http_load, FrontierJob, HttpLoadSpec, ReplayConfig, SessionReplay,
+    boundary_csv, fleet_csv, fleet_scenario_table, fleet_table, frontier_csv, frontier_table,
+    loadtest_table, replay_csv, replay_summary_table, replay_table, run_http_load, AdmissionPolicy,
+    FleetConfig, FleetSim, FrontierJob, HttpLoadSpec, ReplayConfig, SessionReplay,
     STEADY_TOLERANCE,
 };
 use stream_score::prelude::*;
@@ -52,6 +54,12 @@ fn usage() -> &'static str {
                               [--fidelity exact|fluid|hybrid]\n\
                               [--mode parallel|sequential] [--workers <N>]\n\
                               [--format text|md|csv] [--check true] [--tolerance <T>]\n\
+       stream-score fleet     [--scenario <ID>] [--sessions <N>] [--load <L>]\n\
+                              [--policy fifo|fair-share|priority] [--slots <N>]\n\
+                              [--wan <RATE>] [--shape steady|diurnal|bursty|outage]\n\
+                              [--frames <N>] [--seed <N>] [--fidelity exact|fluid|hybrid]\n\
+                              [--mode parallel|sequential] [--workers <N>]\n\
+                              [--format text|md|csv] [--check true]\n\
        stream-score frontier  --scenario <ID> | (same flags as decide)\n\
                               --x <AXIS:LO:HI[:log]> --y <AXIS:LO:HI[:log]>\n\
                               [--z <AXIS:LO:HI[:log]> --slices <N>]\n\
@@ -74,7 +82,8 @@ fn usage() -> &'static str {
        stream-score tiers  --data 2GB --intensity 17TF/GB --local 10TF \\\n\
                            --remote 340TF --bw 25Gbps --alpha 0.8 --sss 7.5\n\
        stream-score frontier --scenario lcls2 --x wan_gbps:1:400 --y data_tb:0.1:100\n\
-       stream-score simulate --scenario lcls2 --shapes steady,outage\n"
+       stream-score simulate --scenario lcls2 --shapes steady,outage\n\
+       stream-score fleet    --load 8 --policy priority --wan 40Gbps\n"
 }
 
 /// Parse `--key value` pairs, naming the offending flag on malformed or
@@ -523,6 +532,137 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mut config = FleetConfig::standard(42);
+    config.sessions = flag_or(flags, "sessions", config.sessions)?;
+    config.load = flag_or(flags, "load", config.load)?;
+    config.slots = flag_or(flags, "slots", config.slots)?;
+    config.frames = flag_or(flags, "frames", config.frames)?;
+    config.seed = flag_or(flags, "seed", config.seed)?;
+    config.wan = flag_or(flags, "wan", config.wan)?;
+    if let Some(raw) = flags.get("shape") {
+        config.shape = TraceShape::parse(raw)?;
+    }
+    if let Some(raw) = flags.get("policy") {
+        config.policy = AdmissionPolicy::parse(raw)?;
+    }
+    if let Some(raw) = flags.get("fidelity") {
+        config.fidelity = Fidelity::parse(raw)?;
+    }
+    config.validate()?;
+
+    let format = flags.get("format").map(String::as_str);
+    if !matches!(format, Some("md") | Some("csv") | Some("text") | None) {
+        return Err(format!(
+            "unknown format {:?} (use text, md or csv)",
+            format.unwrap_or_default()
+        ));
+    }
+    let check = match flags.get("check").map(String::as_str) {
+        Some("true") => true,
+        Some("false") | None => false,
+        Some(other) => return Err(format!("bad --check {other:?} (use true or false)")),
+    };
+
+    let fleet = match flags.get("scenario") {
+        Some(query) => FleetSim::new(vec![Scenario::resolve(query)?], config.clone()),
+        None => FleetSim::bundled(config.clone()),
+    }?;
+    let report = match flags.get("mode").map(String::as_str) {
+        Some("sequential") => {
+            if flags.contains_key("workers") {
+                return Err("--workers conflicts with --mode sequential".into());
+            }
+            fleet.run_sequential()?
+        }
+        Some("parallel") | None => {
+            let pool = match parse_workers(flags)? {
+                Some(n) => ThreadPool::new(n),
+                None => ThreadPool::with_available_parallelism(),
+            };
+            fleet.run(&pool)?
+        }
+        Some(other) => {
+            return Err(format!(
+                "unknown mode {other:?} (use parallel or sequential)"
+            ))
+        }
+    };
+
+    match format {
+        Some("csv") => print!("{}", fleet_csv(std::slice::from_ref(&report)).as_str()),
+        _ => {
+            let sessions = fleet_table(&report);
+            let scenarios = fleet_scenario_table(&report);
+            if format == Some("md") {
+                print!("{}", sessions.to_markdown());
+                print!("{}", scenarios.to_markdown());
+            } else {
+                print!("{}", sessions.to_text());
+                print!("{}", scenarios.to_text());
+            }
+            println!(
+                "mispredict rate {:.1}% over {} sessions (peak {} of {} slots); \
+                 slowdown P50 {:.2}x P90 {:.2}x P99 {:.2}x; makespan {:.1}s",
+                report.overall.mispredict_rate * 100.0,
+                report.records.len(),
+                report.peak_active,
+                config.slots,
+                report.slowdown_p50,
+                report.slowdown_p90,
+                report.slowdown_p99,
+                report.makespan_s,
+            );
+        }
+    }
+
+    if check {
+        // Differential gate: replay the same fleet through the *other*
+        // movement integrator and hold every session's contended movement
+        // to the per-shape tolerance the library exports. The allocation
+        // integrator (and hence queue waits) is shared, so movement is
+        // the only number that can drift.
+        let counterpart = if config.fidelity == Fidelity::Exact {
+            Fidelity::Fluid
+        } else {
+            Fidelity::Exact
+        };
+        let other = match flags.get("scenario") {
+            Some(query) => FleetSim::new(
+                vec![Scenario::resolve(query)?],
+                config.clone().with_fidelity(counterpart),
+            ),
+            None => FleetSim::bundled(config.clone().with_fidelity(counterpart)),
+        }?
+        .run_sequential()?;
+        let tol = fluid_tolerance(config.shape);
+        let mut max_rel = 0.0f64;
+        for (a, b) in report.records.iter().zip(&other.records) {
+            let rel = (a.movement_s - b.movement_s).abs() / b.movement_s.abs().max(1e-12);
+            max_rel = max_rel.max(rel);
+            if rel > tol {
+                return Err(format!(
+                    "session {} ({}): {} movement {} drifted {rel:.3e} from the {} \
+                     integrator's {} (per-shape tolerance {tol:.0e})",
+                    a.session,
+                    a.scenario_id,
+                    config.fidelity,
+                    a.movement_s,
+                    counterpart,
+                    b.movement_s
+                ));
+            }
+        }
+        if format != Some("csv") {
+            println!(
+                "check passed: max |{} - {}| / {} movement = {max_rel:.2e} <= {tol:.0e}",
+                config.fidelity, counterpart, counterpart
+            );
+        }
+    }
+    Ok(())
+}
+
 /// Glyph for one frontier cell.
 fn decision_glyph(d: Decision) -> char {
     match d {
@@ -791,7 +931,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     println!(
         "endpoints: POST /decide, POST /tiers, POST /frontier, POST /simulate, \
-         GET /scenarios, GET /healthz"
+         POST /fleet, GET /scenarios, GET /healthz"
     );
     server.run().map_err(|e| format!("server failed: {e}"))
 }
@@ -882,6 +1022,7 @@ fn main() -> ExitCode {
         "plan" => cmd_plan(&flags),
         "scenarios" => cmd_scenarios(&flags),
         "simulate" => cmd_simulate(&flags),
+        "fleet" => cmd_fleet(&flags),
         "frontier" => cmd_frontier(&flags),
         "probe" => cmd_probe(&flags),
         "serve" => cmd_serve(&flags),

@@ -1,0 +1,253 @@
+//! End-to-end gates for the multi-tenant fleet simulator: CLI
+//! round-trips in every output format, byte-identity across worker
+//! counts and repeated seeds, the `--check` differential smoke against
+//! the counterpart movement integrator, the shared `--seed` flag-error
+//! contract, and the `POST /fleet` endpoint with its memoized body
+//! cache surfaced in `/healthz`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::Command;
+
+use stream_score::server::{Health, Server, ServerConfig, ServerHandle};
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_stream-score"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// A small fleet that still exercises contention: the full catalog at
+/// load 6 over a 40 Gbps backbone with 3 DTN slots.
+const QUICK: &[&str] = &[
+    "fleet",
+    "--sessions",
+    "13",
+    "--load",
+    "6",
+    "--wan",
+    "40Gbps",
+    "--slots",
+    "3",
+    "--seed",
+    "7",
+];
+
+fn quick<'a>(extra: &'a [&'a str]) -> Vec<&'a str> {
+    QUICK.iter().chain(extra).copied().collect()
+}
+
+#[test]
+fn fleet_round_trips_in_every_format() {
+    let (ok, text, _) = run(QUICK);
+    assert!(ok);
+    assert!(text.contains("mispredict rate"), "{text}");
+    assert!(text.contains("makespan"), "{text}");
+
+    let (ok, md, _) = run(&quick(&["--format", "md"]));
+    assert!(ok);
+    assert!(md.contains('|'), "markdown tables expected: {md}");
+
+    let (ok, csv, _) = run(&quick(&["--format", "csv"]));
+    assert!(ok);
+    let mut lines = csv.lines();
+    let header = lines.next().expect("csv header");
+    assert!(
+        header.starts_with("load,trace,policy,session,scenario"),
+        "{header}"
+    );
+    assert_eq!(lines.count(), 13, "one row per session");
+}
+
+#[test]
+fn fleet_csv_is_byte_identical_across_workers_and_reruns() {
+    let base = quick(&["--format", "csv"]);
+    let (ok, one, _) = run(&[&base[..], &["--workers", "1"]].concat());
+    assert!(ok);
+    let (ok, eight, _) = run(&[&base[..], &["--workers", "8"]].concat());
+    assert!(ok);
+    let (ok, sequential, _) = run(&[&base[..], &["--mode", "sequential"]].concat());
+    assert!(ok);
+    let (ok, again, _) = run(&[&base[..], &["--workers", "8"]].concat());
+    assert!(ok);
+    assert_eq!(one, eight, "worker count must not change a byte");
+    assert_eq!(one, sequential, "parallel and sequential runs must agree");
+    assert_eq!(eight, again, "same seed must reproduce the same bytes");
+}
+
+#[test]
+fn fleet_check_holds_fluid_against_exact() {
+    let (ok, text, stderr) = run(&quick(&["--check", "true"]));
+    assert!(ok, "{stderr}");
+    assert!(text.contains("check passed"), "{text}");
+
+    // And from the exact side: same gate, integrators swapped.
+    let (ok, text, stderr) = run(&quick(&["--fidelity", "exact", "--check", "true"]));
+    assert!(ok, "{stderr}");
+    assert!(text.contains("check passed"), "{text}");
+}
+
+#[test]
+fn fleet_rejects_bad_flags_with_the_shared_message() {
+    let (ok, _, stderr) = run(&["fleet", "--seed", "abc"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad --seed \"abc\""), "{stderr}");
+
+    let (ok, _, stderr) = run(&["fleet", "--load", "plenty"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad --load \"plenty\""), "{stderr}");
+
+    let (ok, _, stderr) = run(&["fleet", "--policy", "anarchy"]);
+    assert!(!ok);
+    assert!(stderr.contains("anarchy"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["fleet", "--sessions", "4", "--load", "-1"]);
+    assert!(!ok);
+    assert!(stderr.contains("load"), "{stderr}");
+
+    let (ok, _, stderr) = run(&quick(&["--mode", "sequential", "--workers", "2"]));
+    assert!(!ok);
+    assert!(stderr.contains("conflicts"), "{stderr}");
+}
+
+#[test]
+fn fleet_single_scenario_filter_runs() {
+    let (ok, csv, stderr) = run(&[
+        "fleet",
+        "--scenario",
+        "lcls-coherent-scattering",
+        "--sessions",
+        "4",
+        "--seed",
+        "3",
+        "--format",
+        "csv",
+    ]);
+    assert!(ok, "{stderr}");
+    for line in csv.lines().skip(1) {
+        assert!(line.contains("lcls-coherent-scattering"), "{line}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// POST /fleet over a real socket.
+// ---------------------------------------------------------------------
+
+fn start(workers: usize) -> ServerHandle {
+    let server = Server::bind(ServerConfig {
+        port: 0,
+        workers,
+        cache_capacity: 64,
+        max_batch: 16,
+    })
+    .expect("bind server");
+    server.spawn()
+}
+
+fn call(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let body = response
+        .split("\r\n\r\n")
+        .nth(1)
+        .unwrap_or_default()
+        .to_owned();
+    (status, body)
+}
+
+#[test]
+fn fleet_endpoint_round_trips_with_memoized_bodies() {
+    let handle = start(2);
+    let addr = handle.addr();
+
+    let body = r#"{"sessions":13,"load":6.0,"wan_gbps":40.0,"slots":3,"seed":7}"#;
+    let (status, first) = call(addr, "POST", "/fleet", body);
+    assert_eq!(status, 200, "{first}");
+    assert!(first.contains("\"records\""), "{first}");
+    assert!(first.contains("\"scenarios\""), "{first}");
+    assert!(first.contains("\"makespan_s\""), "{first}");
+
+    // The repeat is served from the fleet body cache, byte-identically.
+    let (status, second) = call(addr, "POST", "/fleet", body);
+    assert_eq!(status, 200);
+    assert_eq!(first, second, "cache hits must return the miss's bytes");
+
+    let (status, health) = call(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    let h: Health = serde_json::from_str(&health).expect("health parses");
+    // A cold key counts two misses: the initial lookup plus the
+    // single-flight re-check after winning the compute claim.
+    assert_eq!(h.fleet_cache.misses, 2);
+    assert_eq!(h.fleet_cache.hits, 1);
+    assert_eq!(h.fleet_cache.entries, 1);
+
+    handle.shutdown();
+}
+
+#[test]
+fn fleet_endpoint_rejects_bad_requests() {
+    let handle = start(1);
+    let addr = handle.addr();
+
+    let (status, body) = call(addr, "POST", "/fleet", "not json");
+    assert_eq!(status, 400);
+    assert!(body.contains("bad fleet request"), "{body}");
+
+    let (status, body) = call(addr, "POST", "/fleet", r#"{"policy":"anarchy"}"#);
+    assert_eq!(status, 400);
+    assert!(body.contains("anarchy"), "{body}");
+
+    let (status, body) = call(addr, "POST", "/fleet", r#"{"shape":"tsunami"}"#);
+    assert_eq!(status, 400);
+    assert!(body.contains("tsunami"), "{body}");
+
+    let (status, body) = call(addr, "POST", "/fleet", r#"{"wan_gbps":-1.0}"#);
+    assert_eq!(status, 400);
+    assert!(!body.is_empty());
+
+    // Oversized fleets are capped with a clear message, not a hang.
+    let (status, body) = call(addr, "POST", "/fleet", r#"{"sessions":100000}"#);
+    assert_eq!(status, 400);
+    assert!(body.contains("cap"), "{body}");
+
+    // Unsupported methods are 405, never 404.
+    let (status, body) = call(addr, "GET", "/fleet", "");
+    assert_eq!(status, 405);
+    assert!(body.contains("not allowed"), "{body}");
+
+    handle.shutdown();
+}
+
+/// The served fleet bytes are independent of the server's worker count:
+/// the fleet engine position-seeds every stream, so `--workers 1` and
+/// `--workers 8` servers answer the same request identically.
+#[test]
+fn fleet_endpoint_bytes_identical_across_worker_counts() {
+    let body = r#"{"sessions":8,"load":4.0,"policy":"priority","seed":11}"#;
+    let serve = |workers: usize| -> String {
+        let handle = start(workers);
+        let (status, response) = call(handle.addr(), "POST", "/fleet", body);
+        assert_eq!(status, 200, "{response}");
+        handle.shutdown();
+        response
+    };
+    assert_eq!(serve(1), serve(8), "worker count must not change a byte");
+}
