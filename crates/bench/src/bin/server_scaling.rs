@@ -45,6 +45,7 @@ fn measure(
         workers,
         cache_capacity,
         max_batch: 32,
+        ..ServerConfig::default()
     })
     .expect("bind in-process server");
     let addr = server.local_addr().to_string();

@@ -1,7 +1,8 @@
 //! Run every regenerator in sequence, leaving all artifacts in
 //! `results/`. Equivalent to invoking fig2a, fig2b, fig3, fig4, tables,
 //! case_study, regimes, ablation_continuum, headline, scenario_suite,
-//! frontier_map, batch_scaling and sim_validation one by one, but reuses
+//! frontier_map, batch_scaling, sim_validation, fleet_contention and
+//! fleet_scaling one by one, but reuses
 //! the expensive Figure 2 sweeps across the binaries that need them by
 //! caching the curve JSON.
 
@@ -24,6 +25,7 @@ fn main() {
         "batch_scaling",
         "sim_validation",
         "fleet_contention",
+        "fleet_scaling",
     ];
     let exe = std::env::current_exe().expect("own path");
     let bin_dir = exe.parent().expect("bin dir");

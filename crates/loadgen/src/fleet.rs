@@ -48,6 +48,9 @@
 //! `T_local`. [`FleetReport`] aggregates per-scenario mispredict rates
 //! and the slowdown distribution (P50/P90/P99 via `sss-stats`).
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
 use serde::{Deserialize, Serialize};
 
 use sss_core::{
@@ -56,9 +59,9 @@ use sss_core::{
 };
 use sss_exec::{SeedSequence, ThreadPool};
 use sss_iosim::{EventStreamingPipeline, FrameSource, WanProfile};
-use sss_netsim::progressive_fill;
+use sss_netsim::{progressive_fill, WaterFiller, WaterFlowId};
 use sss_report::{CsvWriter, Table};
-use sss_sim::{BandwidthTrace, Fidelity, TraceShape};
+use sss_sim::{BandwidthTrace, EventQueue, Fidelity, Seconds, TraceShape};
 use sss_stats::Ecdf;
 use sss_units::{Bytes, Rate, TimeDelta};
 
@@ -136,6 +139,79 @@ impl Deserialize for AdmissionPolicy {
     }
 }
 
+/// Which allocation integrator advances the fleet.
+///
+/// Both engines implement the same event-driven fluid semantics —
+/// admissions, max-min fair WAN shares, solo-trace breakpoints, drains —
+/// and are held together by a differential test. They differ only in
+/// per-event cost: the reference loop re-runs [`progressive_fill`] over
+/// every active flow at every event (O(k²) each), while the incremental
+/// engine re-levels a [`WaterFiller`] in O(log k) and pops the next
+/// event from a calendar instead of scanning all flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FleetEngine {
+    /// Incremental water-filling allocator plus breakpoint calendar —
+    /// the default, and the only path that scales to thousands of
+    /// concurrent sessions.
+    Incremental,
+    /// The original per-event full recomputation. Kept as the semantic
+    /// oracle and as the `fleet_scaling` bench baseline.
+    Reference,
+}
+
+impl FleetEngine {
+    /// Every engine, in reporting order.
+    pub const ALL: [FleetEngine; 2] = [FleetEngine::Incremental, FleetEngine::Reference];
+
+    /// The engine's lowercase label (also the CLI/HTTP spelling).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FleetEngine::Incremental => "incremental",
+            FleetEngine::Reference => "reference",
+        }
+    }
+
+    /// Parse a lowercase label back into an engine.
+    pub fn parse(s: &str) -> Result<FleetEngine, String> {
+        match s {
+            "incremental" => Ok(FleetEngine::Incremental),
+            "reference" => Ok(FleetEngine::Reference),
+            other => Err(format!(
+                "unknown fleet engine {other:?}; known engines: incremental, reference"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for FleetEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl Serialize for FleetEngine {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.label().to_string())
+    }
+}
+
+impl Deserialize for FleetEngine {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => FleetEngine::parse(s).map_err(serde::Error::custom),
+            other => Err(serde::Error::custom(format!(
+                "expected a fleet-engine string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Serde default: requests that predate the engine knob mean the
+/// production path.
+fn default_engine() -> FleetEngine {
+    FleetEngine::Incremental
+}
+
 /// How the fleet exercises the scenario mix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetConfig {
@@ -162,6 +238,9 @@ pub struct FleetConfig {
     pub seed: u64,
     /// Movement integrator for the reported per-session completions.
     pub fidelity: Fidelity,
+    /// Allocation integrator advancing admissions, shares and drains.
+    #[serde(default = "default_engine")]
+    pub engine: FleetEngine,
 }
 
 impl FleetConfig {
@@ -178,6 +257,7 @@ impl FleetConfig {
             frames: 16,
             seed,
             fidelity: Fidelity::Fluid,
+            engine: FleetEngine::Incremental,
         }
     }
 
@@ -210,6 +290,12 @@ impl FleetConfig {
     /// The same configuration with a different offered load.
     pub fn with_load(mut self, load: f64) -> Self {
         self.load = load;
+        self
+    }
+
+    /// The same configuration with a different allocation engine.
+    pub fn with_engine(mut self, engine: FleetEngine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -322,6 +408,11 @@ pub struct FleetReport {
     /// Largest number of concurrently admitted sessions observed —
     /// bounded by [`FleetConfig::slots`] by construction.
     pub peak_active: u32,
+    /// Allocation-integrator events processed (arrivals, admissions,
+    /// breakpoints, drains, clip flips) — the denominator of the scaling
+    /// bench's events/sec.
+    #[serde(default)]
+    pub events: u64,
 }
 
 /// A scenario mix plus the fleet configuration to run it under.
@@ -402,6 +493,119 @@ fn tier_rank(tier: Tier) -> u8 {
         Tier::QuasiRealTime => 2,
         Tier::Offline => 3,
     }
+}
+
+/// The DTN slot queue, policy-specialized so an admission is O(log n)
+/// (or O(catalog) for fair-share) instead of the reference loop's O(n)
+/// scan plus `Vec::remove` shift. Each variant pops exactly the session
+/// [`FleetSim::pick`] would select — a differential test holds the two
+/// to the same order under every policy.
+enum AdmissionQueue {
+    /// Arrival order: push back, pop front.
+    Fifo(VecDeque<usize>),
+    /// One FIFO lane per scenario; a pop takes the head of the
+    /// least-admitted scenario, earliest arrival breaking ties.
+    FairShare(Vec<VecDeque<usize>>),
+    /// Min-heap on (tier rank, arrival index).
+    Priority(BinaryHeap<Reverse<(u8, usize)>>),
+}
+
+impl AdmissionQueue {
+    fn new(policy: AdmissionPolicy, catalog: usize) -> Self {
+        match policy {
+            AdmissionPolicy::Fifo => AdmissionQueue::Fifo(VecDeque::new()),
+            AdmissionPolicy::FairShare => AdmissionQueue::FairShare(vec![VecDeque::new(); catalog]),
+            AdmissionPolicy::Priority => AdmissionQueue::Priority(BinaryHeap::new()),
+        }
+    }
+
+    /// Enqueue a waiting session. Sessions are pushed in arrival order,
+    /// so within any lane the session index doubles as the arrival key.
+    fn push(&mut self, session: usize, scenario_idx: usize, rank: u8) {
+        match self {
+            AdmissionQueue::Fifo(q) => q.push_back(session),
+            AdmissionQueue::FairShare(lanes) => lanes[scenario_idx].push_back(session),
+            AdmissionQueue::Priority(heap) => heap.push(Reverse((rank, session))),
+        }
+    }
+
+    /// The next admission under the policy, given per-scenario admission
+    /// counts so far.
+    fn pop(&mut self, admitted: &[usize]) -> Option<usize> {
+        match self {
+            AdmissionQueue::Fifo(q) => q.pop_front(),
+            AdmissionQueue::FairShare(lanes) => {
+                // (admitted count, head arrival) lexicographic minimum —
+                // the earliest-arrived head among least-admitted
+                // scenarios, which is the session the reference scan's
+                // strictly-less comparison lands on.
+                let mut best: Option<(usize, usize, usize)> = None;
+                for (s, lane) in lanes.iter().enumerate() {
+                    let Some(&head) = lane.front() else { continue };
+                    match best {
+                        Some((c, h, _)) if (c, h) <= (admitted[s], head) => {}
+                        _ => best = Some((admitted[s], head, s)),
+                    }
+                }
+                lanes[best?.2].pop_front()
+            }
+            AdmissionQueue::Priority(heap) => heap.pop().map(|Reverse((_, i))| i),
+        }
+    }
+}
+
+/// A calendar entry for the incremental engine.
+enum FleetEvent {
+    /// The session arrives and joins the admission queue.
+    Arrival(usize),
+    /// An admitted session's solo trace switches segments. The trace
+    /// clock advances with wall time whether the session is clipped or
+    /// not, so a breakpoint scheduled at admission can only be orphaned
+    /// by the session draining first — which the `done` flag detects.
+    Breakpoint(usize),
+    /// An unclipped session runs dry at its solo rate; stale once the
+    /// session's epoch moved past the recorded one.
+    Drain(usize, u64),
+}
+
+/// Per-session scratch for the incremental engine, indexed like the
+/// `SessionState` vector.
+struct Lane {
+    /// The session's live flow in the water-filler (admitted, not done).
+    flow: Option<WaterFlowId>,
+    /// Whether the flow sat above the water level at the last resolution.
+    clipped: bool,
+    /// Solo rate of the current trace segment — the deflated grant while
+    /// unclipped; the WAN demand is `theta` times this.
+    solo: f64,
+    /// Trace time of the next segment switch, if any.
+    next_break: Option<f64>,
+    /// Wall-clock instant the anchors below were last materialized.
+    t_anchor: f64,
+    /// Deflated bytes remaining at the anchor (governs unclipped drains).
+    rem_anchor: f64,
+    /// Drain key in water-volume space: with `v(t) = ∫ level dt`, a
+    /// continuously-clipped session drains when `v` reaches
+    /// `d = v(t₀) + θ·rem(t₀)`, a constant — so the drain heap never
+    /// re-sorts while the level moves.
+    d_key: f64,
+    /// Bumped on every state transition; calendar and heap entries carry
+    /// the epoch they were scheduled under and are dropped when stale.
+    epoch: u64,
+}
+
+/// Remove `i` from the clipped-set (swap-remove with position fix-up);
+/// no-op when absent.
+fn leave_clipped(set: &mut Vec<usize>, pos: &mut [usize], i: usize) {
+    let p = pos[i];
+    if p == usize::MAX {
+        return;
+    }
+    set.swap_remove(p);
+    if p < set.len() {
+        pos[set[p]] = p;
+    }
+    pos[i] = usize::MAX;
 }
 
 impl FleetSim {
@@ -508,14 +712,11 @@ impl FleetSim {
         }
     }
 
-    /// The fluid allocation integrator: admissions, max-min fair WAN
-    /// shares, queue waits and each session's granted piecewise-constant
-    /// allocation. Event-driven and analytic between events (arrivals,
-    /// admissions, solo-trace breakpoints, drains), in the style of
-    /// `sss-netsim`'s `FluidSimulator`.
-    fn integrate(&self, plan: &[Planned]) -> (Vec<SessionState>, u32) {
-        let mut states: Vec<SessionState> = plan
-            .iter()
+    /// Fresh per-session integrator state for a planned arrival schedule
+    /// — shared verbatim by both engines so their sessions start from
+    /// identical traces, clocks and byte counts.
+    fn session_states(&self, plan: &[Planned]) -> Vec<SessionState> {
+        plan.iter()
             .map(|p| {
                 let s = &self.scenarios[p.scenario_idx];
                 let params = &s.params;
@@ -544,8 +745,29 @@ impl FleetSim {
                     done: false,
                 }
             })
-            .collect();
+            .collect()
+    }
 
+    /// The fluid allocation integrator: admissions, max-min fair WAN
+    /// shares, queue waits and each session's granted piecewise-constant
+    /// allocation. Event-driven and analytic between events (arrivals,
+    /// admissions, solo-trace breakpoints, drains), in the style of
+    /// `sss-netsim`'s `FluidSimulator`. Returns the advanced states, the
+    /// peak concurrency and the number of integrator events processed.
+    fn integrate(&self, plan: &[Planned]) -> (Vec<SessionState>, u32, u64) {
+        match self.config.engine {
+            FleetEngine::Incremental => self.integrate_incremental(plan),
+            FleetEngine::Reference => self.integrate_reference(plan),
+        }
+    }
+
+    /// The seed allocation loop: every event re-derives all solo rates,
+    /// re-runs [`progressive_fill`] over every active flow and rescans
+    /// all drains and breakpoints — O(k²) per event. Byte-faithful to
+    /// the original integrator; the oracle the incremental engine is
+    /// differentially tested against, and the `fleet_scaling` baseline.
+    fn integrate_reference(&self, plan: &[Planned]) -> (Vec<SessionState>, u32, u64) {
+        let mut states = self.session_states(plan);
         let n = states.len();
         let wan_bps = self.config.wan.as_bytes_per_sec();
         let slots = self.config.slots as usize;
@@ -555,8 +777,10 @@ impl FleetSim {
         let mut next_arrival = 0usize;
         let mut peak_active = 0u32;
         let mut t = 0.0f64;
+        let mut events = 0u64;
 
         loop {
+            events += 1;
             while next_arrival < n && states[next_arrival].arrival_s <= t {
                 queued.push(next_arrival);
                 next_arrival += 1;
@@ -664,7 +888,343 @@ impl FleetSim {
                 t + dt
             };
         }
-        (states, peak_active)
+        (states, peak_active, events)
+    }
+
+    /// The incremental allocation integrator.
+    ///
+    /// Three structures replace the reference loop's full rescans:
+    ///
+    /// * a [`WaterFiller`] holds every active flow's WAN demand and
+    ///   re-levels in O(log k) per cap change, arrival or drain, so the
+    ///   max-min fair shares are never recomputed from scratch;
+    /// * an [`EventQueue`] calendar holds arrivals, per-session trace
+    ///   breakpoints and projected unclipped drains, so each step pops
+    ///   the winner instead of scanning every active flow;
+    /// * clipped drains live in a min-heap keyed in **water-volume
+    ///   space**: with `v(t) = ∫ level dt`, a continuously-clipped
+    ///   session's remaining hits zero when `v` reaches the constant
+    ///   `d = v(t₀) + θ·rem(t₀)` — level changes move every clipped
+    ///   drain time at once, but leave the heap order untouched.
+    ///
+    /// Scratch buffers are reused across events and per-session state is
+    /// materialized lazily (only when a session's own status changes), so
+    /// the steady-state step allocates nothing. Calendar instants are
+    /// stored verbatim and the clock jumps onto them exactly (no `t+dt`
+    /// rounding), mirroring the reference loop's snapping; an unclipped
+    /// session's recorded pieces carry its solo rates bit-for-bit, which
+    /// preserves the fleet-of-one ≡ `SessionReplay` identity.
+    fn integrate_incremental(&self, plan: &[Planned]) -> (Vec<SessionState>, u32, u64) {
+        let mut states = self.session_states(plan);
+        let n = states.len();
+        let wan_bps = self.config.wan.as_bytes_per_sec();
+        let slots = self.config.slots as usize;
+        let catalog = self.scenarios.len();
+        let mut admitted_per_scenario = vec![0usize; catalog];
+        let mut queue = AdmissionQueue::new(self.config.policy, catalog);
+
+        let mut wf = WaterFiller::new(wan_bps);
+        // Live flow handle → session index (slab slots are recycled, so
+        // this stays as small as the peak concurrency).
+        let mut flow_session: Vec<usize> = Vec::new();
+        let mut lanes: Vec<Lane> = (0..n)
+            .map(|_| Lane {
+                flow: None,
+                clipped: false,
+                solo: 0.0,
+                next_break: None,
+                t_anchor: 0.0,
+                rem_anchor: 0.0,
+                d_key: 0.0,
+                epoch: 0,
+            })
+            .collect();
+
+        let mut calendar: EventQueue<Seconds, FleetEvent> = EventQueue::new();
+        for (i, st) in states.iter().enumerate() {
+            calendar.schedule(Seconds::new(st.arrival_s), FleetEvent::Arrival(i));
+        }
+        // Clipped drains: min-heap on (d_key bits, push seq) — both
+        // non-negative, so the bit order is the value order and the seq
+        // makes ties FIFO like the calendar's.
+        let mut clip_heap: BinaryHeap<Reverse<(u64, u64, usize, u64)>> = BinaryHeap::new();
+        let mut clip_seq = 0u64;
+        // Currently-clipped sessions, for eager piece recording when the
+        // level moves; iteration order is irrelevant (pieces are
+        // per-session) so swap-remove is fine.
+        let mut clipped_set: Vec<usize> = Vec::new();
+        let mut clipped_pos: Vec<usize> = vec![usize::MAX; n];
+        // Sessions whose own status may have changed this instant.
+        let mut touched: Vec<usize> = Vec::new();
+        let mut touch_stamp: Vec<u64> = vec![0; n];
+        let mut stamp = 0u64;
+
+        let mut active = 0usize;
+        let mut peak_active = 0u32;
+        let mut t = 0.0f64;
+        let mut v = 0.0f64;
+        let mut events = 0u64;
+
+        loop {
+            // Drop heap entries orphaned by a flip, breakpoint or drain.
+            while let Some(&Reverse((_, _, i, epoch))) = clip_heap.peek() {
+                if states[i].done || lanes[i].epoch != epoch {
+                    clip_heap.pop();
+                } else {
+                    break;
+                }
+            }
+            let level = wf.level();
+            let draining = level > 0.0 && level.is_finite();
+            let d_cal = calendar.peek_time().map(|s| s.value() - t);
+            // The earliest clipped drain as a delta — the incremental
+            // analog of the reference loop's `remaining / rate` scan.
+            let d_clip = match clip_heap.peek() {
+                Some(&Reverse((bits, _, _, _))) if draining => {
+                    Some(((f64::from_bits(bits) - v) / level).max(0.0))
+                }
+                _ => None,
+            };
+            let dt = match (d_cal, d_clip) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            // A calendar winner advances the clock onto the scheduled
+            // instant *verbatim* — the same no-rounding jump the
+            // reference loop makes onto `arrival_s`.
+            let at_calendar = d_cal.is_some_and(|a| a <= dt);
+            let t_next = match calendar.peek_time() {
+                Some(s) if at_calendar => s.value(),
+                _ => t + dt,
+            };
+            let v_pre = v;
+            if level.is_finite() {
+                v += level * (t_next - t);
+            }
+
+            stamp += 1;
+            touched.clear();
+
+            // 1. Clipped drains due within this step — compared against
+            // the drain delta itself (the `FluidSimulator` idiom), so
+            // the defining session lands exactly on its key.
+            while let Some(&Reverse((bits, _, i, epoch))) = clip_heap.peek() {
+                if states[i].done || lanes[i].epoch != epoch {
+                    clip_heap.pop();
+                    continue;
+                }
+                if !draining || (f64::from_bits(bits) - v_pre) / level > dt {
+                    break;
+                }
+                clip_heap.pop();
+                states[i].remaining = 0.0;
+                states[i].done = true;
+                if let Some(flow) = lanes[i].flow.take() {
+                    wf.remove(flow);
+                }
+                lanes[i].epoch += 1;
+                active -= 1;
+                leave_clipped(&mut clipped_set, &mut clipped_pos, i);
+                events += 1;
+            }
+
+            // 2. Calendar events scheduled at exactly this instant, in
+            // (time, seq) order.
+            if at_calendar {
+                let now = Seconds::new(t_next);
+                while calendar.peek_time() == Some(&now) {
+                    let Some((_, event)) = calendar.pop() else {
+                        break;
+                    };
+                    match event {
+                        FleetEvent::Arrival(i) => {
+                            let rank = tier_rank(self.scenarios[states[i].scenario_idx].tier);
+                            queue.push(i, states[i].scenario_idx, rank);
+                            events += 1;
+                        }
+                        FleetEvent::Breakpoint(i) => {
+                            if states[i].done {
+                                continue;
+                            }
+                            let (Some(flow), Some(b)) = (lanes[i].flow, lanes[i].next_break) else {
+                                continue;
+                            };
+                            // Materialize remaining over the outgoing
+                            // segment, then snap the trace clock onto the
+                            // breakpoint verbatim (the reference loop's
+                            // rounding guard).
+                            let theta = states[i].theta;
+                            let rem = if lanes[i].clipped {
+                                ((lanes[i].d_key - v) / theta).max(0.0)
+                            } else {
+                                (lanes[i].rem_anchor - lanes[i].solo * (t_next - lanes[i].t_anchor))
+                                    .max(0.0)
+                            };
+                            states[i].remaining = rem;
+                            states[i].rel_s = b;
+                            let (solo, next_b) = states[i].trace.segment_at(b);
+                            wf.update(flow, theta * solo);
+                            let lane = &mut lanes[i];
+                            lane.rem_anchor = rem;
+                            lane.t_anchor = t_next;
+                            lane.solo = solo;
+                            lane.next_break = next_b;
+                            lane.epoch += 1;
+                            if let Some(nb) = next_b {
+                                calendar.schedule(
+                                    Seconds::new(t_next + (nb - b)),
+                                    FleetEvent::Breakpoint(i),
+                                );
+                            }
+                            if touch_stamp[i] != stamp {
+                                touch_stamp[i] = stamp;
+                                touched.push(i);
+                            }
+                            events += 1;
+                        }
+                        FleetEvent::Drain(i, epoch) => {
+                            if states[i].done || lanes[i].epoch != epoch {
+                                continue;
+                            }
+                            states[i].remaining = 0.0;
+                            states[i].done = true;
+                            if let Some(flow) = lanes[i].flow.take() {
+                                wf.remove(flow);
+                            }
+                            lanes[i].epoch += 1;
+                            active -= 1;
+                            leave_clipped(&mut clipped_set, &mut clipped_pos, i);
+                            events += 1;
+                        }
+                    }
+                }
+            }
+
+            // 3. Admissions into freed slots.
+            while active < slots {
+                let Some(i) = queue.pop(&admitted_per_scenario) else {
+                    break;
+                };
+                states[i].admitted = true;
+                states[i].start_s = t_next;
+                states[i].wait_s = t_next - states[i].arrival_s;
+                if states[i].wait_s > 0.0 {
+                    states[i].clipped = true;
+                }
+                admitted_per_scenario[states[i].scenario_idx] += 1;
+                active += 1;
+                let (solo, next_b) = states[i].trace.segment_at(0.0);
+                let flow = wf.insert(states[i].theta * solo);
+                if flow.index() >= flow_session.len() {
+                    flow_session.resize(flow.index() + 1, usize::MAX);
+                }
+                flow_session[flow.index()] = i;
+                states[i].rel_s = 0.0;
+                let lane = &mut lanes[i];
+                lane.flow = Some(flow);
+                lane.clipped = false;
+                lane.solo = solo;
+                lane.next_break = next_b;
+                lane.t_anchor = t_next;
+                lane.rem_anchor = states[i].s_bytes;
+                lane.epoch += 1;
+                if let Some(b) = next_b {
+                    calendar.schedule(Seconds::new(t_next + b), FleetEvent::Breakpoint(i));
+                }
+                if touch_stamp[i] != stamp {
+                    touch_stamp[i] = stamp;
+                    touched.push(i);
+                }
+                events += 1;
+            }
+            peak_active = peak_active.max(active as u32);
+
+            // 4. Resolution: one re-level covers every mutation above.
+            // A flow whose own cap didn't change flips clip status iff
+            // the level crossed its cap, so the (old, new] level band
+            // plus the touched list is exactly the set of candidates.
+            let level_new = wf.level();
+            let moved = level_new.to_bits() != level.to_bits();
+            if moved {
+                let (lo, hi) = if level_new > level {
+                    (level, level_new)
+                } else {
+                    (level_new, level)
+                };
+                wf.for_caps_in(lo, hi, |f| {
+                    let i = flow_session[f.index()];
+                    if touch_stamp[i] != stamp {
+                        touch_stamp[i] = stamp;
+                        touched.push(i);
+                    }
+                });
+            }
+            for &i in &touched {
+                if states[i].done {
+                    continue;
+                }
+                let Some(flow) = lanes[i].flow else { continue };
+                let now_clipped = wf.is_clipped(flow);
+                let theta = states[i].theta;
+                // Materialize remaining at `t_next` under the dynamics
+                // that governed since the anchor, then re-anchor. For
+                // sessions whose own event already re-anchored above
+                // this is an exact no-op (`t_next - t_anchor == 0`).
+                let rem = if lanes[i].clipped {
+                    ((lanes[i].d_key - v) / theta).max(0.0)
+                } else {
+                    (lanes[i].rem_anchor - lanes[i].solo * (t_next - lanes[i].t_anchor)).max(0.0)
+                };
+                states[i].rel_s += t_next - lanes[i].t_anchor;
+                states[i].remaining = rem;
+                let lane = &mut lanes[i];
+                lane.rem_anchor = rem;
+                lane.t_anchor = t_next;
+                lane.epoch += 1;
+                lane.clipped = now_clipped;
+                if now_clipped {
+                    states[i].clipped = true;
+                    lane.d_key = v + theta * rem;
+                    clip_heap.push(Reverse((lane.d_key.to_bits(), clip_seq, i, lane.epoch)));
+                    clip_seq += 1;
+                    if clipped_pos[i] == usize::MAX {
+                        clipped_pos[i] = clipped_set.len();
+                        clipped_set.push(i);
+                    }
+                    let rel = states[i].rel_s;
+                    push_piece(&mut states[i].pieces, rel, level_new / theta);
+                } else {
+                    leave_clipped(&mut clipped_set, &mut clipped_pos, i);
+                    if lane.solo > 0.0 {
+                        // A zero-rate segment never drains — the kernel
+                        // guarantees a positive final rate, so a later
+                        // breakpoint always reschedules this.
+                        calendar.schedule(
+                            Seconds::new(t_next + rem / lanes[i].solo),
+                            FleetEvent::Drain(i, lanes[i].epoch),
+                        );
+                    }
+                    let (rel, solo) = (states[i].rel_s, lanes[i].solo);
+                    push_piece(&mut states[i].pieces, rel, solo);
+                }
+            }
+            // Level moved: every still-clipped session's grant moved
+            // with it — record the new rate at each session's private
+            // clock (touched ones already carry it; the bit-equal merge
+            // in `push_piece` makes the double push a no-op).
+            if moved {
+                for &i in &clipped_set {
+                    let rel_now = states[i].rel_s + (t_next - lanes[i].t_anchor);
+                    let rate = level_new / states[i].theta;
+                    push_piece(&mut states[i].pieces, rel_now, rate);
+                }
+            }
+
+            t = t_next;
+        }
+        (states, peak_active, events)
     }
 
     /// One session's reported record: its granted allocation replayed
@@ -753,7 +1313,7 @@ impl FleetSim {
         let decisions = decide_batch(&params);
 
         let plan = self.plan();
-        let (states, peak_active) = self.integrate(&plan);
+        let (states, peak_active, events) = self.integrate(&plan);
 
         let indices: Vec<u32> = (0..states.len() as u32).collect();
         let eval = |&k: &u32| {
@@ -813,6 +1373,7 @@ impl FleetSim {
             slowdown_p90: p90,
             slowdown_p99: p99,
             peak_active,
+            events,
         })
     }
 }
@@ -1014,6 +1575,7 @@ mod tests {
             frames: 16,
             seed,
             fidelity,
+            engine: FleetEngine::Incremental,
         }
     }
 
@@ -1036,28 +1598,34 @@ mod tests {
         let scenario = Scenario::by_id("lcls-coherent-scattering").unwrap();
         for shape in TraceShape::ALL {
             for fidelity in [Fidelity::Exact, Fidelity::Fluid] {
-                let fleet = FleetSim::new(vec![scenario.clone()], solo_config(42, shape, fidelity))
-                    .unwrap()
-                    .run_sequential()
-                    .unwrap();
-                let mut rc = ReplayConfig::quick(42).with_fidelity(fidelity);
-                rc.shapes = vec![shape];
-                let replay = SessionReplay::new(vec![scenario.clone()], rc)
-                    .unwrap()
-                    .run_sequential();
-                let f = &fleet.records[0];
-                let r = &replay.records[0];
-                assert_eq!(f.wait_s, 0.0, "{shape}: a fleet of one never queues");
-                assert!(!f.contended);
-                assert_eq!(
-                    f.movement_s, r.sim_transfer_s,
-                    "{shape}/{fidelity}: movement must be bit-identical"
-                );
-                assert_eq!(
-                    f.realized_t_pct_s, r.sim_t_pct_s,
-                    "{shape}/{fidelity}: realized T_pct must be bit-identical"
-                );
-                assert_eq!(f.model_t_pct_s, r.model_t_pct_s);
+                for engine in FleetEngine::ALL {
+                    let config = solo_config(42, shape, fidelity).with_engine(engine);
+                    let fleet = FleetSim::new(vec![scenario.clone()], config)
+                        .unwrap()
+                        .run_sequential()
+                        .unwrap();
+                    let mut rc = ReplayConfig::quick(42).with_fidelity(fidelity);
+                    rc.shapes = vec![shape];
+                    let replay = SessionReplay::new(vec![scenario.clone()], rc)
+                        .unwrap()
+                        .run_sequential();
+                    let f = &fleet.records[0];
+                    let r = &replay.records[0];
+                    assert_eq!(
+                        f.wait_s, 0.0,
+                        "{shape}/{engine}: a fleet of one never queues"
+                    );
+                    assert!(!f.contended);
+                    assert_eq!(
+                        f.movement_s, r.sim_transfer_s,
+                        "{shape}/{fidelity}/{engine}: movement must be bit-identical"
+                    );
+                    assert_eq!(
+                        f.realized_t_pct_s, r.sim_t_pct_s,
+                        "{shape}/{fidelity}/{engine}: realized T_pct must be bit-identical"
+                    );
+                    assert_eq!(f.model_t_pct_s, r.model_t_pct_s);
+                }
             }
         }
     }
@@ -1269,5 +1837,118 @@ mod tests {
             .unwrap();
         // A different master seed perturbs the arrival process.
         assert!(a.records[0].arrival_s != c.records[0].arrival_s);
+    }
+
+    #[test]
+    fn engines_round_trip_labels() {
+        for engine in FleetEngine::ALL {
+            assert_eq!(FleetEngine::parse(engine.label()), Ok(engine));
+            assert_eq!(engine.to_string(), engine.label());
+        }
+        assert!(FleetEngine::parse("quadratic").is_err());
+    }
+
+    /// The tentpole differential gate: under heavy contention, every
+    /// shape and policy, the incremental engine reproduces the reference
+    /// loop's admissions exactly and its continuous outcomes to within
+    /// float dust (the allocators agree to ≤1e-12 relative per event;
+    /// event-time shifts compound that slightly).
+    #[test]
+    fn incremental_and_reference_engines_agree_under_contention() {
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1e-9);
+        for policy in AdmissionPolicy::ALL {
+            for shape in [TraceShape::Steady, TraceShape::Bursty] {
+                let mut config = FleetConfig::quick(11).with_load(6.0);
+                config.wan = Rate::from_gbps(12.0);
+                config.shape = shape;
+                config.policy = policy;
+                let inc = FleetSim::bundled(config.clone())
+                    .unwrap()
+                    .run_sequential()
+                    .unwrap();
+                let reference = FleetSim::bundled(config.with_engine(FleetEngine::Reference))
+                    .unwrap()
+                    .run_sequential()
+                    .unwrap();
+                assert_eq!(inc.records.len(), reference.records.len());
+                assert_eq!(inc.peak_active, reference.peak_active);
+                assert!(inc.events > 0 && reference.events > 0);
+                assert!(
+                    inc.records.iter().any(|r| r.contended),
+                    "{shape}/{policy}: the cell must actually contend"
+                );
+                for (a, b) in inc.records.iter().zip(&reference.records) {
+                    let tag = format!("{shape}/{policy}/session {}", a.session);
+                    assert_eq!(a.scenario_id, b.scenario_id, "{tag}");
+                    assert_eq!(a.contended, b.contended, "{tag}: clip status");
+                    assert!(
+                        close(a.wait_s, b.wait_s),
+                        "{tag}: wait {} vs {}",
+                        a.wait_s,
+                        b.wait_s
+                    );
+                    assert!(
+                        close(a.movement_s, b.movement_s),
+                        "{tag}: movement {} vs {}",
+                        a.movement_s,
+                        b.movement_s
+                    );
+                    assert!(
+                        close(a.completion_s, b.completion_s),
+                        "{tag}: completion {} vs {}",
+                        a.completion_s,
+                        b.completion_s
+                    );
+                }
+            }
+        }
+    }
+
+    /// Satellite gate: the policy-specialized [`AdmissionQueue`] pops
+    /// sessions in exactly the order the reference `pick` scan (plus
+    /// `Vec::remove`) produces, for every policy, across an interleaved
+    /// arrival/admission schedule.
+    #[test]
+    fn admission_queue_matches_the_reference_scan() {
+        for policy in AdmissionPolicy::ALL {
+            let sim = FleetSim::bundled(FleetConfig::quick(7).with_policy(policy)).unwrap();
+            let plan = sim.plan();
+            let states = sim.session_states(&plan);
+            let catalog = sim.scenarios().len();
+
+            let mut queue = AdmissionQueue::new(policy, catalog);
+            let mut queued: Vec<usize> = Vec::new();
+            let mut admitted = vec![0usize; catalog];
+            let mut fast_order = Vec::new();
+            let mut reference_order = Vec::new();
+            // Interleave pushes with bursts of pops so the queues are
+            // exercised at several fill levels and count profiles.
+            for (i, st) in states.iter().enumerate() {
+                let rank = tier_rank(sim.scenarios()[st.scenario_idx].tier);
+                queue.push(i, st.scenario_idx, rank);
+                queued.push(i);
+                if i % 3 == 0 {
+                    if let Some(j) = queue.pop(&admitted) {
+                        fast_order.push(j);
+                        let pos = sim.pick(&queued, &states, &admitted);
+                        let k = queued.remove(pos);
+                        reference_order.push(k);
+                        admitted[states[k].scenario_idx] += 1;
+                    }
+                }
+            }
+            while let Some(j) = queue.pop(&admitted) {
+                fast_order.push(j);
+                let pos = sim.pick(&queued, &states, &admitted);
+                let k = queued.remove(pos);
+                reference_order.push(k);
+                admitted[states[k].scenario_idx] += 1;
+            }
+            assert!(queued.is_empty(), "{policy}: both queues must drain");
+            assert_eq!(
+                fast_order, reference_order,
+                "{policy}: admission order must be unchanged"
+            );
+        }
     }
 }

@@ -32,12 +32,14 @@ mod link;
 mod packet;
 mod sim;
 mod tcp;
+mod waterfill;
 
 pub use config::{LinkConfig, Qdisc, SimConfig, TcpConfig};
 pub use fluid::{progressive_fill, FluidFlowRecord, FluidReport, FluidSimulator};
 pub use link::{Link, LinkStats};
 pub use packet::{FlowId, Packet, PacketKind};
 pub use sim::{CwndSample, FlowRecord, FlowSpec, SimReport, Simulator};
+pub use waterfill::{WaterFiller, WaterFlowId};
 // The clock and event queue live in the shared `sss-sim` kernel; the
 // re-export keeps `sss_netsim::SimTime` working for existing callers.
 pub use sss_sim::SimTime;

@@ -12,7 +12,7 @@ use sss_core::{
     Scenario, Sensitivity, Tier, TierReport,
 };
 use sss_loadgen::{
-    AdmissionPolicy, FleetConfig, FleetSim, FrontierJob, ReplayConfig, SessionReplay,
+    AdmissionPolicy, FleetConfig, FleetEngine, FleetSim, FrontierJob, ReplayConfig, SessionReplay,
 };
 use sss_sim::{Fidelity, TraceShape};
 use sss_units::{Bytes, ComputeIntensity, FlopRate, Rate, Ratio};
@@ -378,6 +378,10 @@ fn default_fleet_fidelity() -> String {
     "fluid".into()
 }
 
+fn default_fleet_engine() -> String {
+    "incremental".into()
+}
+
 /// Body of `POST /fleet`: a multi-tenant fleet drawn from the bundled
 /// scenario catalog, replayed under WAN sharing and DTN slot contention.
 ///
@@ -387,8 +391,9 @@ fn default_fleet_fidelity() -> String {
 /// computes for the same knobs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetRequest {
-    /// Sessions drawn from the catalog (default 26, max
-    /// [`FleetRequest::MAX_SESSIONS`]).
+    /// Sessions drawn from the catalog (default 26; the service rejects
+    /// requests above its configured cap, which defaults to
+    /// [`FleetRequest::DEFAULT_SESSION_CAP`]).
     #[serde(default = "default_fleet_sessions")]
     pub sessions: u32,
     /// Offered load in Erlangs (default 4).
@@ -417,6 +422,10 @@ pub struct FleetRequest {
     /// Movement integrator label (default `"fluid"`).
     #[serde(default = "default_fleet_fidelity")]
     pub fidelity: String,
+    /// Allocation-engine label: `"incremental"` or `"reference"`
+    /// (default `"incremental"`).
+    #[serde(default = "default_fleet_engine")]
+    pub engine: String,
 }
 
 impl Default for FleetRequest {
@@ -431,23 +440,25 @@ impl Default for FleetRequest {
             frames: default_fleet_frames(),
             seed: default_seed(),
             fidelity: default_fleet_fidelity(),
+            engine: default_fleet_engine(),
         }
     }
 }
 
 impl FleetRequest {
-    /// Largest per-request fleet the service simulates — a service cap
-    /// well under the library's own bound, because each session costs a
-    /// pipeline replay.
-    pub const MAX_SESSIONS: u32 = 512;
+    /// Default service cap on per-request fleet size — well under the
+    /// library's own bound, because each session costs a pipeline
+    /// replay. Deployments size the actual limit via
+    /// `ServerConfig::fleet_session_cap`.
+    pub const DEFAULT_SESSION_CAP: u32 = 512;
 
-    /// Validate the request into a runnable fleet.
-    pub fn fleet(&self) -> Result<FleetSim, String> {
-        if self.sessions > Self::MAX_SESSIONS {
+    /// Validate the request into a runnable fleet, holding it to the
+    /// service's configured session cap.
+    pub fn fleet(&self, session_cap: u32) -> Result<FleetSim, String> {
+        if self.sessions > session_cap {
             return Err(format!(
-                "sessions {} exceeds the service cap of {}",
+                "sessions {} exceeds the service cap of {session_cap}",
                 self.sessions,
-                Self::MAX_SESSIONS
             ));
         }
         if !(self.wan_gbps.is_finite() && self.wan_gbps > 0.0) {
@@ -466,6 +477,7 @@ impl FleetRequest {
             frames: self.frames,
             seed: self.seed,
             fidelity: Fidelity::parse(&self.fidelity)?,
+            engine: FleetEngine::parse(&self.engine)?,
         };
         FleetSim::bundled(config)
     }

@@ -40,6 +40,7 @@
 //!     workers: 2,
 //!     cache_capacity: 64,
 //!     max_batch: 8,
+//!     ..ServerConfig::default()
 //! })
 //! .unwrap();
 //! let addr = server.local_addr();

@@ -33,6 +33,18 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Maximum `/decide` requests evaluated per pool wave.
     pub max_batch: usize,
+    /// Largest fleet a single `POST /fleet` request may simulate;
+    /// requests above it get a 400. Defaults to
+    /// [`FleetRequest::DEFAULT_SESSION_CAP`] and is reported by
+    /// `GET /healthz`.
+    #[serde(default = "default_fleet_session_cap")]
+    pub fleet_session_cap: u32,
+}
+
+/// Serde default: configurations that predate the knob keep the
+/// historical 512-session service cap.
+fn default_fleet_session_cap() -> u32 {
+    FleetRequest::DEFAULT_SESSION_CAP
 }
 
 impl Default for ServerConfig {
@@ -44,6 +56,7 @@ impl Default for ServerConfig {
                 .unwrap_or(1),
             cache_capacity: 4096,
             max_batch: 32,
+            fleet_session_cap: FleetRequest::DEFAULT_SESSION_CAP,
         }
     }
 }
@@ -322,6 +335,10 @@ pub struct Health {
     pub simulate_cache: CacheStats,
     /// `/fleet` body-cache counters.
     pub fleet_cache: CacheStats,
+    /// Largest fleet a single `/fleet` request may simulate (the
+    /// configured service cap).
+    #[serde(default = "default_fleet_session_cap")]
+    pub fleet_session_cap: u32,
 }
 
 /// A bound-but-not-yet-serving instance: inspect [`Server::local_addr`],
@@ -600,7 +617,7 @@ fn handle_fleet(body: &[u8], state: &AppState) -> (u16, Arc<str>) {
         Ok(r) => r,
         Err(e) => return (400, error_body(format!("bad fleet request: {e}"))),
     };
-    let fleet = match request.fleet() {
+    let fleet = match request.fleet(state.config.fleet_session_cap) {
         Ok(fleet) => fleet,
         Err(e) => return (400, error_body(e)),
     };
@@ -657,6 +674,7 @@ fn handle_healthz(state: &AppState) -> (u16, Arc<str>) {
         frontier_cache: state.frontier_cache.stats(),
         simulate_cache: state.simulate_cache.stats(),
         fleet_cache: state.fleet_cache.stats(),
+        fleet_session_cap: state.config.fleet_session_cap,
     };
     (200, json_body(&health))
 }

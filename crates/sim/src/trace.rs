@@ -132,8 +132,7 @@ impl BandwidthTrace {
     /// assert_eq!(t.rate_at(4.999_999), 2.0e9);
     /// ```
     pub fn rate_at(&self, t_s: f64) -> f64 {
-        let idx = self.starts_s.partition_point(|&s| s <= t_s);
-        self.rates_bps[idx.saturating_sub(1)]
+        self.segment_at(t_s).0
     }
 
     /// The next breakpoint strictly after `t_s`, or `None` when the
@@ -142,8 +141,48 @@ impl BandwidthTrace {
     /// integrators that advance to it land exactly on the breakpoint
     /// under the right-continuous [`BandwidthTrace::rate_at`] convention.
     pub fn next_change(&self, t_s: f64) -> Option<f64> {
+        self.segment_at(t_s).1
+    }
+
+    /// The current segment in one lookup: the rate in effect at `t_s`
+    /// **and** the next breakpoint strictly after it, from a single
+    /// binary search.
+    ///
+    /// Exactly equivalent to `(rate_at(t_s), next_change(t_s))` — same
+    /// right-continuous breakpoint semantics, the breakpoint returned as
+    /// a segment start verbatim — but event-driven integrators that need
+    /// both (the fleet engine does, per session-event) pay one
+    /// `partition_point` instead of two.
+    ///
+    /// ```
+    /// use sss_sim::BandwidthTrace;
+    /// use sss_units::Rate;
+    ///
+    /// let t = BandwidthTrace::from_segments(&[
+    ///     (0.0, Rate::from_gigabytes_per_sec(2.0)),
+    ///     (5.0, Rate::from_gigabytes_per_sec(1.0)),
+    /// ])
+    /// .unwrap();
+    /// assert_eq!(t.segment_at(0.0), (2.0e9, Some(5.0)));
+    /// // At the breakpoint the new segment already rules: its rate is in
+    /// // effect and the next change is strictly later (here: none).
+    /// assert_eq!(t.segment_at(5.0), (1.0e9, None));
+    /// ```
+    pub fn segment_at(&self, t_s: f64) -> (f64, Option<f64>) {
         let idx = self.starts_s.partition_point(|&s| s <= t_s);
-        self.starts_s.get(idx).copied()
+        (
+            self.rates_bps[idx.saturating_sub(1)],
+            self.starts_s.get(idx).copied(),
+        )
+    }
+
+    /// Index of the segment containing `t_s` — the shared entry lookup
+    /// behind [`BandwidthTrace::segment_at`] and the fluid integrators'
+    /// walking cursors.
+    fn segment_index(&self, t_s: f64) -> usize {
+        self.starts_s
+            .partition_point(|&s| s <= t_s)
+            .saturating_sub(1)
     }
 
     /// The largest per-segment rate in the profile, bytes per second.
@@ -215,7 +254,7 @@ impl BandwidthTrace {
         }
         let mut remaining = bytes;
         let mut t = start_s;
-        let mut i = self.starts_s.partition_point(|&s| s <= t).saturating_sub(1);
+        let mut i = self.segment_index(t);
         loop {
             let rate = (self.rates_bps[i] / divisor).min(cap);
             match self.starts_s.get(i + 1) {
@@ -293,7 +332,7 @@ impl BandwidthTrace {
         let mut t = arrival_start_s;
         let mut served = 0.0f64;
         let mut backlog = 0.0f64;
-        let mut i = self.starts_s.partition_point(|&s| s <= t).saturating_sub(1);
+        let mut i = self.segment_index(t);
         loop {
             let mu = (self.rates_bps[i] / divisor).min(cap);
             let seg_end = self.starts_s.get(i + 1).copied().unwrap_or(f64::INFINITY);
@@ -585,6 +624,50 @@ mod tests {
         // next change is strictly later (here: none).
         assert_eq!(t.next_change(5.0), None);
         assert_eq!(BandwidthTrace::steady(gbs(1.0)).next_change(0.0), None);
+    }
+
+    /// The fused lookup mirrors `next_change_walks_the_breakpoints`: at
+    /// the breakpoint itself the new segment already rules in *both*
+    /// halves of the pair.
+    #[test]
+    fn segment_at_walks_the_breakpoints() {
+        let t = BandwidthTrace::from_segments(&[(0.0, gbs(2.0)), (5.0, gbs(1.0))]).unwrap();
+        assert_eq!(t.segment_at(0.0), (2.0e9, Some(5.0)));
+        assert_eq!(t.segment_at(4.999), (2.0e9, Some(5.0)));
+        // At the breakpoint the new segment is already in effect, so the
+        // rate is the incoming one and the next change is strictly later
+        // (here: none).
+        assert_eq!(t.segment_at(5.0), (1.0e9, None));
+        assert_eq!(t.segment_at(1e9), (1.0e9, None));
+        // Queries before t=0 clamp to the first segment.
+        assert_eq!(t.segment_at(-1.0), (2.0e9, Some(0.0)));
+        assert_eq!(
+            BandwidthTrace::steady(gbs(1.0)).segment_at(0.0),
+            (1.0e9, None)
+        );
+    }
+
+    /// `segment_at` is the pair `(rate_at, next_change)` bit-for-bit, for
+    /// every bundled shape, at every breakpoint, just left of every
+    /// breakpoint, and in every segment interior.
+    #[test]
+    fn segment_at_equals_the_two_lookup_pair_everywhere() {
+        for shape in TraceShape::ALL {
+            let t = shape.build(gbs(1.0), 10.0, 42);
+            let mut queries = vec![-1.0, 0.0, 5.0, 1e9];
+            for (i, &start) in t.starts_s.iter().enumerate() {
+                queries.push(start);
+                if i > 0 {
+                    queries.push(start - start.abs() * 1e-12 - 1e-300);
+                    queries.push((t.starts_s[i - 1] + start) / 2.0);
+                }
+            }
+            for q in queries {
+                let (rate, next) = t.segment_at(q);
+                assert_eq!(rate, t.rate_at(q), "{shape}: rate at {q}");
+                assert_eq!(next, t.next_change(q), "{shape}: next at {q}");
+            }
+        }
     }
 
     #[test]

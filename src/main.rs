@@ -27,7 +27,7 @@ use stream_score::core::EvalEngine;
 use stream_score::loadgen::{
     boundary_csv, fleet_csv, fleet_scenario_table, fleet_table, frontier_csv, frontier_table,
     loadtest_table, replay_csv, replay_summary_table, replay_table, run_http_load, AdmissionPolicy,
-    FleetConfig, FleetSim, FrontierJob, HttpLoadSpec, ReplayConfig, SessionReplay,
+    FleetConfig, FleetEngine, FleetSim, FrontierJob, HttpLoadSpec, ReplayConfig, SessionReplay,
     STEADY_TOLERANCE,
 };
 use stream_score::prelude::*;
@@ -58,6 +58,7 @@ fn usage() -> &'static str {
                               [--policy fifo|fair-share|priority] [--slots <N>]\n\
                               [--wan <RATE>] [--shape steady|diurnal|bursty|outage]\n\
                               [--frames <N>] [--seed <N>] [--fidelity exact|fluid|hybrid]\n\
+                              [--engine incremental|reference]\n\
                               [--mode parallel|sequential] [--workers <N>]\n\
                               [--format text|md|csv] [--check true]\n\
        stream-score frontier  --scenario <ID> | (same flags as decide)\n\
@@ -70,7 +71,7 @@ fn usage() -> &'static str {
                               [--format text|md|csv]\n\
        stream-score probe     [--seconds <N>] [--concurrency <N>]\n\
        stream-score serve     [--port <N>] [--workers <N>]\n\
-                              [--cache-capacity <N>] [--batch-max <N>]\n\
+                              [--cache-capacity <N>] [--batch-max <N>] [--fleet-cap <N>]\n\
        stream-score loadtest  [--addr <HOST:PORT>] [--clients <N>]\n\
                               [--requests <N>] [--distinct <N>] [--seed <N>]\n\
                               [--workers <N>] [--cache-capacity <N>] [--format text|md]\n\
@@ -549,6 +550,9 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(raw) = flags.get("fidelity") {
         config.fidelity = Fidelity::parse(raw)?;
     }
+    if let Some(raw) = flags.get("engine") {
+        config.engine = FleetEngine::parse(raw)?;
+    }
     config.validate()?;
 
     let format = flags.get("format").map(String::as_str);
@@ -916,18 +920,28 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         }),
         cache_capacity: flag_or(flags, "cache-capacity", 4096usize)?,
         max_batch: flag_or(flags, "batch-max", 32usize)?,
+        fleet_session_cap: flag_or(
+            flags,
+            "fleet-cap",
+            ServerConfig::default().fleet_session_cap,
+        )?,
     };
     if config.max_batch == 0 {
         return Err("--batch-max must be positive".into());
     }
+    if config.fleet_session_cap == 0 {
+        return Err("--fleet-cap must be positive".into());
+    }
     let server =
         Server::bind(config).map_err(|e| format!("cannot bind port {}: {e}", config.port))?;
     println!(
-        "serving on http://{} ({} workers, cache capacity {}, batches up to {})",
+        "serving on http://{} ({} workers, cache capacity {}, batches up to {}, \
+         fleet cap {} sessions)",
         server.local_addr(),
         config.workers,
         config.cache_capacity,
-        config.max_batch
+        config.max_batch,
+        config.fleet_session_cap
     );
     println!(
         "endpoints: POST /decide, POST /tiers, POST /frontier, POST /simulate, \

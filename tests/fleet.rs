@@ -145,6 +145,7 @@ fn start(workers: usize) -> ServerHandle {
         workers,
         cache_capacity: 64,
         max_batch: 16,
+        ..ServerConfig::default()
     })
     .expect("bind server");
     server.spawn()
@@ -232,6 +233,38 @@ fn fleet_endpoint_rejects_bad_requests() {
     let (status, body) = call(addr, "GET", "/fleet", "");
     assert_eq!(status, 405);
     assert!(body.contains("not allowed"), "{body}");
+
+    handle.shutdown();
+}
+
+/// The session cap is a service knob, not a constant: a server sized
+/// with a smaller `fleet_session_cap` rejects fleets right above it,
+/// serves fleets right at it, and reports the configured value on
+/// `/healthz`.
+#[test]
+fn fleet_session_cap_is_configurable_and_reported() {
+    let server = Server::bind(ServerConfig {
+        port: 0,
+        workers: 1,
+        cache_capacity: 64,
+        max_batch: 16,
+        fleet_session_cap: 8,
+    })
+    .expect("bind server");
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    let (status, body) = call(addr, "POST", "/fleet", r#"{"sessions":9}"#);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("cap") && body.contains('8'), "{body}");
+
+    let (status, body) = call(addr, "POST", "/fleet", r#"{"sessions":8,"load":2.0}"#);
+    assert_eq!(status, 200, "{body}");
+
+    let (status, health) = call(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    let h: Health = serde_json::from_str(&health).expect("health parses");
+    assert_eq!(h.fleet_session_cap, 8);
 
     handle.shutdown();
 }

@@ -132,6 +132,7 @@ fn http_frontier_round_trips_and_memoizes() {
         workers: 4,
         cache_capacity: 256,
         max_batch: 8,
+        ..ServerConfig::default()
     })
     .expect("bind server");
     let addr = server.local_addr();
@@ -203,6 +204,7 @@ fn concurrent_identical_frontier_requests_single_flight() {
         workers: 2,
         cache_capacity: 64,
         max_batch: 8,
+        ..ServerConfig::default()
     })
     .expect("bind server");
     let addr = server.local_addr();

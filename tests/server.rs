@@ -13,6 +13,7 @@ fn start(workers: usize, cache_capacity: usize) -> ServerHandle {
         workers,
         cache_capacity,
         max_batch: 16,
+        ..ServerConfig::default()
     })
     .expect("bind server");
     server.spawn()
