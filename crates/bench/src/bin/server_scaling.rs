@@ -1,53 +1,71 @@
 //! E-X5 — decision-service scaling: closed-loop `/decide` throughput vs
-//! worker count, and the memoized decision cache against the uncached
-//! baseline on repeated facility queries.
+//! worker count, the memoized decision cache against the uncached
+//! baseline, and the connection-ramp sweep comparing the epoll reactor
+//! front end's open-connection ceiling with the thread-per-connection
+//! baseline.
 //!
 //! Each cell starts a fresh in-process `sss-server` on an OS-assigned
-//! port, drives it with the `sss-loadgen` closed-loop HTTP driver, and
-//! tears it down. Results render as tables and persist as CSV + JSON
+//! port, drives it with the `sss-loadgen` drivers (closed-loop HTTP for
+//! throughput, the nonblocking connection ramp for the ceiling sweep),
+//! and tears it down. Results render as tables and persist as CSV + JSON
 //! under `results/`. Honors `SSS_SEED` and `SSS_QUICK` like the other
 //! regenerators.
 
 use serde::Serialize;
 use sss_bench::{quick, results_dir, seed};
-use sss_loadgen::{run_http_load, HttpLoadReport, HttpLoadSpec};
+use sss_loadgen::{run_conn_ramp, run_http_load, ConnRampSpec, HttpLoadReport, HttpLoadSpec};
 use sss_report::{write_json, CsvWriter, Table};
-use sss_server::{Server, ServerConfig};
+use sss_server::{Frontend, Server, ServerConfig};
 
-/// One measured cell of either experiment.
+/// One measured cell of any of the three experiments.
 #[derive(Debug, Clone, Serialize)]
 struct Cell {
     experiment: &'static str,
+    frontend: String,
     workers: usize,
     cache_capacity: usize,
     distinct_workloads: usize,
+    /// Target concurrency: clients for the closed-loop experiments,
+    /// connections for the ramp sweep.
+    connections: usize,
+    /// Simultaneously-open connections actually reached (equals
+    /// `connections` for the closed-loop experiments).
+    opened: usize,
     requests: u64,
+    errors: u64,
     throughput_rps: f64,
     p50_ms: f64,
+    p90_ms: f64,
     p99_ms: f64,
     max_ms: f64,
     cache_hits: u64,
     cache_misses: u64,
 }
 
-/// Start a server sized `(workers, cache_capacity)`, run `spec` against
-/// it, and collapse the outcome into a [`Cell`].
+fn bind(frontend: Frontend, workers: usize, cache_capacity: usize) -> Server {
+    Server::bind(ServerConfig {
+        port: 0,
+        workers,
+        cache_capacity,
+        max_batch: 32,
+        frontend,
+        ..ServerConfig::default()
+    })
+    .expect("bind in-process server")
+}
+
+/// Start a server sized `(workers, cache_capacity)`, run the closed-loop
+/// driver against it, and collapse the outcome into a [`Cell`].
 fn measure(
     experiment: &'static str,
+    frontend: Frontend,
     workers: usize,
     cache_capacity: usize,
     clients: usize,
     requests_per_client: usize,
     distinct_workloads: usize,
 ) -> Cell {
-    let server = Server::bind(ServerConfig {
-        port: 0,
-        workers,
-        cache_capacity,
-        max_batch: 32,
-        ..ServerConfig::default()
-    })
-    .expect("bind in-process server");
+    let server = bind(frontend, workers, cache_capacity);
     let addr = server.local_addr().to_string();
     // Snapshot cache counters through the library (not /healthz) so the
     // probe itself does not perturb the request count.
@@ -65,12 +83,73 @@ fn measure(
 
     Cell {
         experiment,
+        frontend: frontend.to_string(),
         workers,
         cache_capacity,
         distinct_workloads,
+        connections: clients,
+        opened: clients,
         requests: report.ok + report.errors,
+        errors: report.errors,
         throughput_rps: report.throughput_rps,
         p50_ms: report.latency.p50 * 1e3,
+        p90_ms: report.latency.p90 * 1e3,
+        p99_ms: report.latency.p99 * 1e3,
+        max_ms: report.latency.max * 1e3,
+        cache_hits: health.cache.hits,
+        cache_misses: health.cache.misses,
+    }
+}
+
+/// Ramp `connections` keep-alive sockets against a fresh server and
+/// collapse the ceiling + tail into a [`Cell`].
+fn measure_ramp(
+    frontend: Frontend,
+    workers: usize,
+    connections: usize,
+    requests_per_conn: usize,
+) -> Cell {
+    let cache_capacity = 4096;
+    // Ramp cells get a generous idle window: on a loaded single-core CI
+    // box the ramp itself can take tens of seconds, and the early
+    // connections sit quiet until the serve phase begins. Reaping them
+    // would measure the timeout, not the ceiling.
+    let server = Server::bind(ServerConfig {
+        port: 0,
+        workers,
+        cache_capacity,
+        max_batch: 32,
+        frontend,
+        idle_timeout_ticks: 1200,
+        ..ServerConfig::default()
+    })
+    .expect("bind in-process server");
+    let addr = server.local_addr().to_string();
+    let spec = ConnRampSpec {
+        addr,
+        connections,
+        requests_per_conn,
+        distinct_workloads: 8,
+        seed: seed(),
+    };
+    let handle = server.spawn();
+    let report = run_conn_ramp(&spec).expect("ramp run completes");
+    let health = fetch_health(&spec.addr);
+    handle.shutdown();
+
+    Cell {
+        experiment: "ramp",
+        frontend: frontend.to_string(),
+        workers,
+        cache_capacity,
+        distinct_workloads: spec.distinct_workloads,
+        connections,
+        opened: report.opened,
+        requests: report.ok + report.errors,
+        errors: report.errors,
+        throughput_rps: report.throughput_rps,
+        p50_ms: report.latency.p50 * 1e3,
+        p90_ms: report.latency.p90 * 1e3,
         p99_ms: report.latency.p99 * 1e3,
         max_ms: report.latency.max * 1e3,
         cache_hits: health.cache.hits,
@@ -104,7 +183,17 @@ fn main() {
     let hostile_pool = 256;
     let scaling: Vec<Cell> = worker_counts
         .iter()
-        .map(|&w| measure("workers", w, 0, clients, requests_per_client, hostile_pool))
+        .map(|&w| {
+            measure(
+                "workers",
+                Frontend::default(),
+                w,
+                0,
+                clients,
+                requests_per_client,
+                hostile_pool,
+            )
+        })
         .collect();
 
     // Experiment B: memoized cache vs uncached baseline on a repetitive
@@ -112,28 +201,62 @@ fn main() {
     let repeat_pool = 8;
     let cached: Vec<Cell> = [0usize, 4096]
         .iter()
-        .map(|&cap| measure("cache", 4, cap, clients, requests_per_client, repeat_pool))
+        .map(|&cap| {
+            measure(
+                "cache",
+                Frontend::default(),
+                4,
+                cap,
+                clients,
+                requests_per_client,
+                repeat_pool,
+            )
+        })
         .collect();
 
-    let mut scaling_table = Table::new(["workers", "req/s", "p50 ms", "p99 ms", "max ms"])
-        .with_title(
-            "Decision-service throughput vs worker count (uncached, 256 distinct workloads)",
+    // Experiment C: connection-ramp sweep — the reactor's open-connection
+    // ceiling next to the thread-per-connection baseline. The reactor
+    // rides to 8000 held sockets (5000+ even in quick mode, pinning the
+    // C10k-path acceptance); the threaded cells stay small because a
+    // thread per socket is exactly the cost being demonstrated.
+    let (reactor_ramp, threaded_ramp): (&[usize], &[usize]) = if quick() {
+        (&[256, 5000], &[256])
+    } else {
+        (&[1000, 5000, 8000], &[256, 1000])
+    };
+    let requests_per_conn = 2;
+    eprintln!("ramp: reactor to {reactor_ramp:?} connections, threaded to {threaded_ramp:?}...");
+    let mut ramp: Vec<Cell> = Vec::new();
+    for &n in threaded_ramp {
+        ramp.push(measure_ramp(Frontend::Threaded, 2, n, requests_per_conn));
+    }
+    for &n in reactor_ramp {
+        ramp.push(measure_ramp(Frontend::Reactor, 2, n, requests_per_conn));
+    }
+
+    let mut scaling_table =
+        Table::new(["workers", "req/s", "p50 ms", "p90 ms", "p99 ms", "max ms"]).with_title(
+            format!(
+                "Decision-service throughput vs worker count ({} frontend, uncached, 256 distinct workloads)",
+                Frontend::default()
+            ),
         );
     for c in &scaling {
         scaling_table.row([
             c.workers.to_string(),
             format!("{:.0}", c.throughput_rps),
             format!("{:.3}", c.p50_ms),
+            format!("{:.3}", c.p90_ms),
             format!("{:.3}", c.p99_ms),
             format!("{:.3}", c.max_ms),
         ]);
     }
     println!("{}", scaling_table.to_text());
 
-    let mut cache_table = Table::new(["cache", "req/s", "p50 ms", "p99 ms", "hits", "misses"])
-        .with_title(
-            "Memoized decision cache vs uncached baseline (4 workers, 8 distinct workloads)",
-        );
+    let mut cache_table = Table::new([
+        "cache", "req/s", "p50 ms", "p90 ms", "p99 ms", "hits", "misses",
+    ])
+    .with_title("Memoized decision cache vs uncached baseline (4 workers, 8 distinct workloads)");
     for c in &cached {
         cache_table.row([
             if c.cache_capacity == 0 {
@@ -143,6 +266,7 @@ fn main() {
             },
             format!("{:.0}", c.throughput_rps),
             format!("{:.3}", c.p50_ms),
+            format!("{:.3}", c.p90_ms),
             format!("{:.3}", c.p99_ms),
             c.cache_hits.to_string(),
             c.cache_misses.to_string(),
@@ -159,29 +283,75 @@ fn main() {
         uncached.throughput_rps
     );
 
+    let mut ramp_table = Table::new([
+        "frontend",
+        "target conns",
+        "open ceiling",
+        "errors",
+        "req/s",
+        "p50 ms",
+        "p90 ms",
+        "p99 ms",
+    ])
+    .with_title("Connection-ramp sweep: simultaneously-held keep-alive sockets per front end");
+    for c in &ramp {
+        ramp_table.row([
+            c.frontend.clone(),
+            c.connections.to_string(),
+            c.opened.to_string(),
+            c.errors.to_string(),
+            format!("{:.0}", c.throughput_rps),
+            format!("{:.3}", c.p50_ms),
+            format!("{:.3}", c.p90_ms),
+            format!("{:.3}", c.p99_ms),
+        ]);
+    }
+    println!("{}", ramp_table.to_text());
+
+    if let Some(best) = ramp
+        .iter()
+        .filter(|c| c.frontend == "reactor")
+        .max_by_key(|c| c.opened)
+    {
+        println!(
+            "reactor ceiling this run: {} simultaneously-open connections ({} errors)",
+            best.opened, best.errors
+        );
+    }
+
     let dir = results_dir();
     let mut csv = CsvWriter::new([
         "experiment",
+        "frontend",
         "workers",
         "cache_capacity",
         "distinct_workloads",
+        "connections",
+        "opened",
         "requests",
+        "errors",
         "throughput_rps",
         "p50_ms",
+        "p90_ms",
         "p99_ms",
         "max_ms",
         "cache_hits",
         "cache_misses",
     ]);
-    for c in scaling.iter().chain(&cached) {
+    for c in scaling.iter().chain(&cached).chain(&ramp) {
         csv.row([
             c.experiment.to_string(),
+            c.frontend.clone(),
             c.workers.to_string(),
             c.cache_capacity.to_string(),
             c.distinct_workloads.to_string(),
+            c.connections.to_string(),
+            c.opened.to_string(),
             c.requests.to_string(),
+            c.errors.to_string(),
             format!("{}", c.throughput_rps),
             format!("{}", c.p50_ms),
+            format!("{}", c.p90_ms),
             format!("{}", c.p99_ms),
             format!("{}", c.max_ms),
             c.cache_hits.to_string(),
@@ -191,7 +361,7 @@ fn main() {
     let csv_path = dir.join("server_scaling.csv");
     csv.write_to(&csv_path).expect("write server_scaling.csv");
     let json_path = dir.join("server_scaling.json");
-    let all: Vec<&Cell> = scaling.iter().chain(&cached).collect();
+    let all: Vec<&Cell> = scaling.iter().chain(&cached).chain(&ramp).collect();
     write_json(&json_path, &all).expect("write server_scaling.json");
     eprintln!("wrote {} and {}", csv_path.display(), json_path.display());
 }

@@ -23,6 +23,7 @@
 //! assert_eq!(results[3].0, 3); // order preserved
 //! ```
 
+pub mod poll;
 mod pool;
 mod seed;
 

@@ -19,7 +19,9 @@
 //! The same closed-loop discipline also drives the real `sss-server`
 //! decision service over HTTP: [`HttpLoadSpec`]/[`run_http_load`] measure
 //! request throughput and per-request latency tails against a live
-//! socket.
+//! socket, and [`ConnRampSpec`]/[`run_conn_ramp`] probe the connection
+//! ceiling — thousands of simultaneously-held keep-alive sockets driven
+//! from one nonblocking event loop.
 //!
 //! # Example
 //!
@@ -60,7 +62,10 @@ pub use fleet::{
     ScenarioContention,
 };
 pub use frontier::{boundary_csv, frontier_csv, frontier_table, FrontierJob};
-pub use httpload::{loadtest_table, run_http_load, HttpLoadReport, HttpLoadSpec};
+pub use httpload::{
+    loadtest_table, ramp_table, run_conn_ramp, run_http_load, ConnRampReport, ConnRampSpec,
+    HttpLoadReport, HttpLoadSpec,
+};
 pub use replay::{
     replay_csv, replay_fidelity_csv, replay_summary_table, replay_table, ReplayConfig,
     ReplayRecord, ReplayReport, SessionReplay, ShapeSummary, STEADY_TOLERANCE,

@@ -4,7 +4,15 @@
 //! (JSON bodies, `Content-Length` framing, persistent connections) and
 //! the container has no HTTP crate to lean on. The parser enforces hard
 //! limits on header and body sizes so a misbehaving client cannot balloon
-//! a connection thread's memory.
+//! a connection's memory.
+//!
+//! The core is the *incremental* [`Parser`]: feed it whatever bytes the
+//! socket produced and it consumes exactly up to the end of one complete
+//! request, carrying partial state (a request line split mid-word, a body
+//! split mid-`Content-Length`) across calls. That single state machine
+//! serves both front ends: the reactor pushes nonblocking read chunks
+//! straight into it, and the blocking [`read_request`] wraps it over a
+//! `BufRead`.
 
 use std::io::{self, BufRead, Write};
 
@@ -22,8 +30,11 @@ pub enum HttpError {
     Io(io::Error),
     /// The bytes on the wire are not a well-formed request.
     Malformed(String),
-    /// The request exceeds a parser limit ("413 Payload Too Large").
+    /// The request body exceeds [`MAX_BODY`] ("413 Payload Too Large").
     TooLarge(String),
+    /// The request line or header section exceeds a parser limit
+    /// ("431 Request Header Fields Too Large").
+    HeadersTooLarge(String),
 }
 
 impl std::fmt::Display for HttpError {
@@ -32,6 +43,7 @@ impl std::fmt::Display for HttpError {
             HttpError::Io(e) => write!(f, "i/o error: {e}"),
             HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
             HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
+            HttpError::HeadersTooLarge(m) => write!(f, "request headers too large: {m}"),
         }
     }
 }
@@ -70,94 +82,215 @@ impl Request {
     }
 }
 
-/// Read one line terminated by `\r\n` (tolerating bare `\n`), bounded by
-/// [`MAX_LINE`]. Returns `None` on clean EOF before any byte.
-fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, HttpError> {
-    let mut line = Vec::with_capacity(128);
-    let mut byte = [0u8; 1];
-    loop {
-        match reader.read(&mut byte) {
-            Ok(0) => {
-                if line.is_empty() {
-                    return Ok(None);
-                }
-                return Err(HttpError::Malformed("EOF mid-line".into()));
-            }
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    if line.last() == Some(&b'\r') {
-                        line.pop();
-                    }
-                    let text = String::from_utf8(line)
-                        .map_err(|_| HttpError::Malformed("non-UTF-8 header line".into()))?;
-                    return Ok(Some(text));
-                }
-                if line.len() >= MAX_LINE {
-                    return Err(HttpError::TooLarge(format!(
-                        "line exceeds {MAX_LINE} bytes"
-                    )));
-                }
-                line.push(byte[0]);
-            }
-            Err(e) => return Err(HttpError::Io(e)),
-        }
+/// Where an incremental parse currently stands — used to classify an EOF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParsePhase {
+    /// Between requests: no byte of the next request has arrived. EOF here
+    /// is the clean end of a keep-alive session.
+    Idle,
+    /// Mid request-line or mid-headers. EOF here is a malformed request.
+    Head,
+    /// Mid body (`Content-Length` bytes still owed). EOF here is a
+    /// truncated transfer — an I/O-level failure.
+    Body,
+}
+
+/// Header-section fields accumulated before the body arrives.
+#[derive(Debug, Default)]
+struct Head {
+    method: String,
+    target: String,
+    version: String,
+    headers: Vec<(String, String)>,
+}
+
+#[derive(Debug)]
+enum State {
+    /// Accumulating the request line.
+    Line(Vec<u8>),
+    /// Accumulating header lines; the partial current line rides along.
+    Headers(Head, Vec<u8>),
+    /// Accumulating exactly `remaining` more body bytes.
+    Body(Head, Vec<u8>, usize),
+}
+
+/// Incremental HTTP/1.1 request parser.
+///
+/// [`Parser::push`] consumes bytes from the front of the input and stops
+/// at the end of the first complete request, returning how much it took —
+/// the caller re-pushes the remainder (pipelined follow-up requests) on
+/// its next iteration. All partial state lives inside the parser, so reads
+/// may split the stream anywhere: mid request-line, between header bytes,
+/// or in the middle of a counted body.
+///
+/// After an error the parser is poisoned; the owning connection is
+/// expected to answer with the matching status and tear down.
+#[derive(Debug)]
+pub struct Parser {
+    state: State,
+}
+
+impl Default for Parser {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
-/// Read one request off the connection.
-///
-/// Returns `Ok(None)` when the peer closed the connection cleanly between
-/// requests (the normal end of a keep-alive session).
-pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
-    let Some(request_line) = read_line(reader)? else {
-        return Ok(None);
+impl Parser {
+    /// A parser at the boundary between requests.
+    pub fn new() -> Self {
+        Parser {
+            state: State::Line(Vec::new()),
+        }
+    }
+
+    /// Which phase the parser is in — classifies an EOF from the peer.
+    pub fn phase(&self) -> ParsePhase {
+        match &self.state {
+            State::Line(buf) if buf.is_empty() => ParsePhase::Idle,
+            State::Line(_) | State::Headers(..) => ParsePhase::Head,
+            State::Body(..) => ParsePhase::Body,
+        }
+    }
+
+    /// Feed `data`; returns `(consumed, request)`. Consumption stops at
+    /// the end of the first complete request so pipelined successors stay
+    /// in the caller's buffer. Always consumes at least one byte when
+    /// `data` is non-empty and no request completes.
+    pub fn push(&mut self, data: &[u8]) -> Result<(usize, Option<Request>), HttpError> {
+        let mut used = 0;
+        while used < data.len() {
+            match &mut self.state {
+                State::Line(line) => {
+                    match take_line(line, &data[used..])? {
+                        LineStep::Partial(n) => used += n,
+                        LineStep::Complete(n) => {
+                            used += n;
+                            let text = finish_line(line)?;
+                            let head = parse_request_line(&text)?;
+                            self.state = State::Headers(head, Vec::new());
+                        }
+                    };
+                }
+                State::Headers(head, line) => {
+                    match take_line(line, &data[used..])? {
+                        LineStep::Partial(n) => used += n,
+                        LineStep::Complete(n) => {
+                            used += n;
+                            let text = finish_line(line)?;
+                            if text.is_empty() {
+                                // End of headers: frame the body.
+                                let remaining = content_length(head)?;
+                                let head = std::mem::take(head);
+                                if remaining == 0 {
+                                    self.state = State::Line(Vec::new());
+                                    return Ok((used, Some(build_request(head, Vec::new()))));
+                                }
+                                self.state =
+                                    State::Body(head, Vec::with_capacity(remaining), remaining);
+                            } else {
+                                if head.headers.len() >= MAX_HEADERS {
+                                    return Err(HttpError::HeadersTooLarge(format!(
+                                        "more than {MAX_HEADERS} headers"
+                                    )));
+                                }
+                                let (name, value) = text.split_once(':').ok_or_else(|| {
+                                    HttpError::Malformed(format!("bad header line {text:?}"))
+                                })?;
+                                head.headers.push((
+                                    name.trim().to_ascii_lowercase(),
+                                    value.trim().to_owned(),
+                                ));
+                            }
+                        }
+                    };
+                }
+                State::Body(head, body, remaining) => {
+                    let take = (data.len() - used).min(*remaining);
+                    body.extend_from_slice(&data[used..used + take]);
+                    used += take;
+                    *remaining -= take;
+                    if *remaining == 0 {
+                        let head = std::mem::take(head);
+                        let body = std::mem::take(body);
+                        self.state = State::Line(Vec::new());
+                        return Ok((used, Some(build_request(head, body))));
+                    }
+                }
+            }
+        }
+        Ok((used, None))
+    }
+}
+
+enum LineStep {
+    /// All input consumed, newline not yet seen.
+    Partial(usize),
+    /// Consumed through a newline; `line` holds the full line (no `\n`).
+    Complete(usize),
+}
+
+/// Append input to `line` up to and including the first `\n`, enforcing
+/// [`MAX_LINE`] even when no newline has arrived yet.
+fn take_line(line: &mut Vec<u8>, data: &[u8]) -> Result<LineStep, HttpError> {
+    let (chunk, step) = match data.iter().position(|&b| b == b'\n') {
+        Some(pos) => (&data[..pos], LineStep::Complete(pos + 1)),
+        None => (data, LineStep::Partial(data.len())),
     };
-    let mut parts = request_line.split_whitespace();
+    if line.len() + chunk.len() > MAX_LINE {
+        return Err(HttpError::HeadersTooLarge(format!(
+            "line exceeds {MAX_LINE} bytes"
+        )));
+    }
+    line.extend_from_slice(chunk);
+    Ok(step)
+}
+
+/// Terminate a completed line: strip the optional `\r`, decode UTF-8, and
+/// reset the accumulator for the next line.
+fn finish_line(line: &mut Vec<u8>) -> Result<String, HttpError> {
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(std::mem::take(line))
+        .map_err(|_| HttpError::Malformed("non-UTF-8 header line".into()))
+}
+
+fn parse_request_line(text: &str) -> Result<Head, HttpError> {
+    let mut parts = text.split_whitespace();
     let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v)) => (m.to_owned(), t.to_owned(), v.to_owned()),
-        _ => {
-            return Err(HttpError::Malformed(format!(
-                "bad request line {request_line:?}"
-            )))
-        }
+        _ => return Err(HttpError::Malformed(format!("bad request line {text:?}"))),
     };
     if version != "HTTP/1.1" && version != "HTTP/1.0" {
         return Err(HttpError::Malformed(format!("bad version {version:?}")));
     }
+    Ok(Head {
+        method,
+        target,
+        version,
+        headers: Vec::new(),
+    })
+}
 
-    let mut headers = Vec::new();
-    loop {
-        let line =
-            read_line(reader)?.ok_or_else(|| HttpError::Malformed("EOF inside headers".into()))?;
-        if line.is_empty() {
-            break;
-        }
-        if headers.len() >= MAX_HEADERS {
-            return Err(HttpError::TooLarge(format!(
-                "more than {MAX_HEADERS} headers"
-            )));
-        }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| HttpError::Malformed(format!("bad header line {line:?}")))?;
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
-    }
-
-    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+fn content_length(head: &Head) -> Result<usize, HttpError> {
+    let length = match head.headers.iter().find(|(k, _)| k == "content-length") {
         Some((_, v)) => v
             .parse::<usize>()
             .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))?,
         None => 0,
     };
-    if content_length > MAX_BODY {
+    if length > MAX_BODY {
         return Err(HttpError::TooLarge(format!(
-            "body of {content_length} bytes exceeds {MAX_BODY}"
+            "body of {length} bytes exceeds {MAX_BODY}"
         )));
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    Ok(length)
+}
 
-    let connection = headers
+fn build_request(head: Head, body: Vec<u8>) -> Request {
+    let connection = head
+        .headers
         .iter()
         .find(|(k, _)| k == "connection")
         .map(|(_, v)| v.to_ascii_lowercase());
@@ -165,17 +298,55 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpE
     let close = match connection.as_deref() {
         Some("close") => true,
         Some("keep-alive") => false,
-        _ => version == "HTTP/1.0",
+        _ => head.version == "HTTP/1.0",
     };
-
-    let path = target.split('?').next().unwrap_or("").to_owned();
-    Ok(Some(Request {
-        method,
+    let path = head.target.split('?').next().unwrap_or("").to_owned();
+    Request {
+        method: head.method,
         path,
-        headers,
+        headers: head.headers,
         body,
         close,
-    }))
+    }
+}
+
+/// Read one request off a blocking connection.
+///
+/// Returns `Ok(None)` when the peer closed the connection cleanly between
+/// requests (the normal end of a keep-alive session). Drives the same
+/// incremental [`Parser`] the reactor uses, consuming from the `BufRead`
+/// buffer only up to the end of the request so pipelined successors stay
+/// buffered for the next call.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
+    let mut parser = Parser::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return match parser.phase() {
+                ParsePhase::Idle => Ok(None),
+                ParsePhase::Head => Err(HttpError::Malformed("EOF mid-request".into())),
+                ParsePhase::Body => Err(HttpError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside counted body",
+                ))),
+            };
+        }
+        let (consumed, request) = match parser.push(available) {
+            Ok(step) => step,
+            Err(e) => {
+                // The request is doomed either way; consuming what the
+                // parser examined keeps the reader consistent for the
+                // error response that follows.
+                let n = available.len();
+                reader.consume(n);
+                return Err(e);
+            }
+        };
+        reader.consume(consumed);
+        if let Some(request) = request {
+            return Ok(Some(request));
+        }
+    }
 }
 
 fn reason(status: u16) -> &'static str {
@@ -185,6 +356,7 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         _ => "Unknown",
     }
@@ -273,11 +445,119 @@ mod tests {
     }
 
     #[test]
+    fn oversized_header_line_is_431() {
+        let text = format!("GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n", "y".repeat(MAX_LINE));
+        assert!(matches!(
+            parse(text.as_bytes()),
+            Err(HttpError::HeadersTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_header_line_detected_before_newline() {
+        // The overlong line never terminates; the parser must still bail
+        // rather than buffer without bound.
+        let mut parser = Parser::new();
+        parser.push(b"GET / HTTP/1.1\r\n").unwrap();
+        let err = parser.push(&vec![b'a'; MAX_LINE + 1]).unwrap_err();
+        assert!(matches!(err, HttpError::HeadersTooLarge(_)));
+    }
+
+    #[test]
+    fn too_many_headers_is_431() {
+        let mut text = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            text.push_str(&format!("x-h{i}: v\r\n"));
+        }
+        text.push_str("\r\n");
+        assert!(matches!(
+            parse(text.as_bytes()),
+            Err(HttpError::HeadersTooLarge(_))
+        ));
+    }
+
+    #[test]
     fn truncated_body_is_io_error() {
         assert!(matches!(
             parse(b"POST /decide HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
             Err(HttpError::Io(_))
         ));
+    }
+
+    #[test]
+    fn eof_mid_headers_is_malformed() {
+        assert!(matches!(
+            parse(b"POST /decide HTTP/1.1\r\nHost: x\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(parse(b"POST /dec"), Err(HttpError::Malformed(_))));
+    }
+
+    // --- incremental Parser behavior -------------------------------------
+
+    /// Feed `wire` one byte at a time: every possible split boundary at once.
+    fn parse_bytewise(wire: &[u8]) -> Request {
+        let mut parser = Parser::new();
+        for (i, b) in wire.iter().enumerate() {
+            let (used, request) = parser.push(std::slice::from_ref(b)).unwrap();
+            assert_eq!(used, 1, "byte {i} must be consumed");
+            if let Some(request) = request {
+                assert_eq!(i, wire.len() - 1, "completed early at byte {i}");
+                return request;
+            }
+        }
+        panic!("request never completed");
+    }
+
+    #[test]
+    fn bytewise_split_equals_single_push() {
+        let wire = b"POST /decide HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let mut parser = Parser::new();
+        let (used, whole) = parser.push(wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(whole.unwrap(), parse_bytewise(wire));
+    }
+
+    #[test]
+    fn split_mid_request_line_and_mid_body() {
+        let mut parser = Parser::new();
+        assert_eq!(parser.phase(), ParsePhase::Idle);
+        let (_, r) = parser.push(b"POST /dec").unwrap();
+        assert!(r.is_none());
+        assert_eq!(parser.phase(), ParsePhase::Head);
+        let (_, r) = parser
+            .push(b"ide HTTP/1.1\r\ncontent-length: 6\r\n\r\nab")
+            .unwrap();
+        assert!(r.is_none());
+        assert_eq!(parser.phase(), ParsePhase::Body);
+        let (used, r) = parser.push(b"cdef").unwrap();
+        assert_eq!(used, 4);
+        let request = r.unwrap();
+        assert_eq!(request.body, b"abcdef");
+        assert_eq!(parser.phase(), ParsePhase::Idle);
+    }
+
+    #[test]
+    fn pipelined_requests_consume_one_at_a_time() {
+        let wire =
+            b"GET /healthz HTTP/1.1\r\n\r\nPOST /decide HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi";
+        let mut parser = Parser::new();
+        let (used, first) = parser.push(wire).unwrap();
+        let first = first.unwrap();
+        assert_eq!(first.path, "/healthz");
+        assert!(used < wire.len(), "must stop at the request boundary");
+        let (used2, second) = parser.push(&wire[used..]).unwrap();
+        assert_eq!(used + used2, wire.len());
+        let second = second.unwrap();
+        assert_eq!(second.path, "/decide");
+        assert_eq!(second.body, b"hi");
+    }
+
+    #[test]
+    fn bare_newlines_accepted() {
+        let req = parse_bytewise(b"GET /scenarios HTTP/1.1\nHost: x\n\n");
+        assert_eq!(req.path, "/scenarios");
+        assert_eq!(req.header("host"), Some("x"));
     }
 
     #[test]
@@ -289,5 +569,16 @@ mod tests {
         assert!(text.contains("content-length: 11\r\n"), "{text}");
         assert!(text.contains("connection: keep-alive\r\n"), "{text}");
         assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+
+    #[test]
+    fn status_431_has_reason_phrase() {
+        let mut out = Vec::new();
+        write_response(&mut out, 431, b"{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 431 Request Header Fields Too Large\r\n"),
+            "{text}"
+        );
     }
 }

@@ -68,7 +68,11 @@
 pub mod api;
 pub mod batch;
 pub mod cache;
+#[cfg(unix)]
+mod conn;
 pub mod http;
+#[cfg(unix)]
+mod reactor;
 pub mod server;
 
 pub use api::{
@@ -77,4 +81,4 @@ pub use api::{
 };
 pub use batch::{BatchStats, Batcher};
 pub use cache::{CacheKey, CacheStats, DecisionCache, ResponseCache};
-pub use server::{Health, Server, ServerConfig, ServerHandle};
+pub use server::{Frontend, Health, Server, ServerConfig, ServerHandle};

@@ -1,7 +1,7 @@
 //! The TCP accept loop, request router, and lifecycle handle.
 
 use std::collections::HashSet;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -11,6 +11,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 use sss_units::Ratio;
 
+use sss_exec::poll::WakePipe;
 use sss_exec::ThreadPool;
 
 use crate::api::{
@@ -19,6 +20,65 @@ use crate::api::{
 use crate::batch::{BatchStats, Batcher};
 use crate::cache::{CacheKey, CacheStats, DecisionCache, ResponseCache};
 use crate::http::{read_request, write_response, HttpError, Request};
+
+/// Which connection front end serves the listener.
+///
+/// Both front ends route through the same caches, batcher and pool, and
+/// produce byte-identical responses (CI byte-compares them); they differ
+/// only in how connections are multiplexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum Frontend {
+    /// One blocking OS thread per accepted connection. Portable and
+    /// simple; concurrency is capped by thread spawn cost.
+    Threaded,
+    /// Single nonblocking epoll event loop over per-connection state
+    /// machines (keep-alive + pipelining), dispatching parsed requests to
+    /// a small service pool. Linux-only; the C10k front end.
+    Reactor,
+}
+
+impl Frontend {
+    /// `"threaded"` / `"reactor"` — the CLI/serde spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Frontend::Threaded => "threaded",
+            Frontend::Reactor => "reactor",
+        }
+    }
+}
+
+impl Default for Frontend {
+    /// The reactor where it exists (Linux), the portable threaded loop
+    /// elsewhere.
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            Frontend::Reactor
+        } else {
+            Frontend::Threaded
+        }
+    }
+}
+
+impl std::fmt::Display for Frontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Frontend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threaded" => Ok(Frontend::Threaded),
+            "reactor" => Ok(Frontend::Reactor),
+            other => Err(format!(
+                "unknown frontend {other:?} (expected threaded|reactor)"
+            )),
+        }
+    }
+}
 
 /// How the service is sized. `Default` is a sensible interactive setup:
 /// an OS-assigned port, one worker per core, a 4096-entry cache and
@@ -39,12 +99,70 @@ pub struct ServerConfig {
     /// `GET /healthz`.
     #[serde(default = "default_fleet_session_cap")]
     pub fleet_session_cap: u32,
+    /// Which connection front end multiplexes the listener.
+    #[serde(default)]
+    pub frontend: Frontend,
+    /// Most connections the reactor holds open at once; accepts beyond it
+    /// are dropped immediately. (The threaded front end is bounded by
+    /// thread spawn instead.)
+    #[serde(default = "default_max_connections")]
+    pub max_connections: usize,
+    /// Idle timeout counted in quiet reactor ticks — `epoll_wait`
+    /// timeouts with zero events — so the hot path never reads a wall
+    /// clock (0 disables the timeout). The threaded front end converts
+    /// `idle_timeout_ticks × tick_ms` into its blocking read timeout, so
+    /// both front ends idle out after the same nominal duration.
+    #[serde(default = "default_idle_timeout_ticks")]
+    pub idle_timeout_ticks: u64,
+    /// Reactor tick length: the bound on `epoll_wait`, and therefore on
+    /// how stale a shutdown flag can go unobserved, in milliseconds.
+    #[serde(default = "default_tick_ms")]
+    pub tick_ms: u64,
+    /// Bytes the reactor reads from a socket per `read` call.
+    #[serde(default = "default_read_buffer")]
+    pub read_buffer: usize,
+    /// Pending-response bytes a connection may buffer before the reactor
+    /// stops reading more requests from it (pipelining backpressure).
+    #[serde(default = "default_write_buffer")]
+    pub write_buffer: usize,
 }
 
 /// Serde default: configurations that predate the knob keep the
 /// historical 512-session service cap.
 fn default_fleet_session_cap() -> u32 {
     FleetRequest::DEFAULT_SESSION_CAP
+}
+
+/// Serde default for [`Health::frontend`]: health bodies that predate the
+/// field came from the threaded accept loop.
+fn default_frontend_name() -> String {
+    "threaded".to_owned()
+}
+
+/// Serde default: plenty for the CI box, far under typical fd hard caps.
+fn default_max_connections() -> usize {
+    16 * 1024
+}
+
+/// Serde default: 300 ticks × 100 ms = the threaded front end's
+/// historical 30 s read timeout.
+fn default_idle_timeout_ticks() -> u64 {
+    300
+}
+
+/// Serde default: 100 ms shutdown-observation bound.
+fn default_tick_ms() -> u64 {
+    100
+}
+
+/// Serde default: one typical request burst per `read`.
+fn default_read_buffer() -> usize {
+    8 * 1024
+}
+
+/// Serde default: a few large (`/frontier`-sized) bodies of backlog.
+fn default_write_buffer() -> usize {
+    256 * 1024
 }
 
 impl Default for ServerConfig {
@@ -57,6 +175,12 @@ impl Default for ServerConfig {
             cache_capacity: 4096,
             max_batch: 32,
             fleet_session_cap: FleetRequest::DEFAULT_SESSION_CAP,
+            frontend: Frontend::default(),
+            max_connections: default_max_connections(),
+            idle_timeout_ticks: default_idle_timeout_ticks(),
+            tick_ms: default_tick_ms(),
+            read_buffer: default_read_buffer(),
+            write_buffer: default_write_buffer(),
         }
     }
 }
@@ -292,8 +416,10 @@ impl<K: Clone + Eq + std::hash::Hash> SingleFlight<K> {
     }
 }
 
-/// Everything a connection thread needs, shared behind one `Arc`.
-struct AppState {
+/// Everything a connection (thread or reactor) needs, shared behind one
+/// `Arc`. `pub(crate)` so the reactor module can route through the same
+/// state the threaded front end uses.
+pub(crate) struct AppState {
     cache: Arc<DecisionCache>,
     /// Shared pool `/frontier` and `/simulate` cache misses fan their
     /// work across, sized like the batcher's.
@@ -307,9 +433,14 @@ struct AppState {
     batcher: Batcher,
     scenarios_body: Arc<str>,
     started: Instant,
-    requests: AtomicU64,
-    config: ServerConfig,
-    shutdown: Arc<AtomicBool>,
+    pub(crate) requests: AtomicU64,
+    /// Connections currently open, across either front end.
+    pub(crate) open_conns: AtomicU64,
+    pub(crate) config: ServerConfig,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    /// Self-pipe waking the reactor's `epoll_wait` (completions and
+    /// shutdown); `None` under the threaded front end.
+    pub(crate) waker: Option<Arc<WakePipe>>,
 }
 
 /// The `/healthz` body.
@@ -325,6 +456,13 @@ pub struct Health {
     pub workers: usize,
     /// Maximum batch size configured.
     pub max_batch: usize,
+    /// Which front end is serving (`"threaded"` or `"reactor"`).
+    #[serde(default = "default_frontend_name")]
+    pub frontend: String,
+    /// Connections open at the moment of the probe (including the one
+    /// carrying it).
+    #[serde(default)]
+    pub open_connections: u64,
     /// Decision-cache counters.
     pub cache: CacheStats,
     /// Batching counters.
@@ -354,6 +492,19 @@ impl Server {
     /// precomputed scenario catalog).
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        // std hard-codes a 128-entry listen backlog; a connection ramp
+        // overflows it and every dropped SYN retransmits on a ~1s timer,
+        // stretching the ramp past the idle timeout. Re-listening on the
+        // bound socket deepens the queue (the kernel caps the value at
+        // net.core.somaxconn), so this is sizing, not a failure path.
+        #[cfg(target_os = "linux")]
+        {
+            use std::os::unix::io::AsRawFd;
+            let _ = sss_exec::poll::deepen_listen_backlog(
+                listener.as_raw_fd(),
+                config.max_connections.clamp(128, 65_535) as i32,
+            );
+        }
         let cache = Arc::new(DecisionCache::new(config.cache_capacity));
         let batcher = Batcher::new(cache.clone(), config.workers, config.max_batch);
         let scenarios_body: Arc<str> = Arc::from(
@@ -365,6 +516,18 @@ impl Server {
         #[allow(clippy::disallowed_methods)]
         // sss-lint: allow(D002, operator-facing /healthz uptime metric; never feeds simulation or decision output)
         let started = Instant::now();
+        // The reactor's wake pipe is created at bind so an unsupported
+        // platform fails the boot with a clear error instead of a dead
+        // background accept thread.
+        let waker = match config.frontend {
+            Frontend::Reactor => Some(Arc::new(WakePipe::new().map_err(|e| {
+                std::io::Error::new(
+                    e.kind(),
+                    format!("reactor front end unavailable on this platform: {e}"),
+                )
+            })?)),
+            Frontend::Threaded => None,
+        };
         Ok(Server {
             listener,
             state: Arc::new(AppState {
@@ -380,8 +543,10 @@ impl Server {
                 scenarios_body,
                 started,
                 requests: AtomicU64::new(0),
+                open_conns: AtomicU64::new(0),
                 config,
                 shutdown: Arc::new(AtomicBool::new(false)),
+                waker,
             }),
         })
     }
@@ -395,17 +560,26 @@ impl Server {
 
     /// Serve until [`ServerHandle::shutdown`] is called (from a handle
     /// created before `run`, via [`Server::handle`]) — or forever.
+    ///
+    /// Dispatches to the configured [`Frontend`]: the blocking
+    /// thread-per-connection loop, or the nonblocking epoll reactor.
     pub fn run(self) -> std::io::Result<()> {
-        let state = self.state;
-        for stream in self.listener.incoming() {
-            if state.shutdown.load(Ordering::SeqCst) {
-                break;
+        match self.state.config.frontend {
+            Frontend::Threaded => run_threaded(self.listener, self.state),
+            Frontend::Reactor => {
+                #[cfg(unix)]
+                {
+                    crate::reactor::run(self.listener, self.state)
+                }
+                #[cfg(not(unix))]
+                {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::Unsupported,
+                        "reactor front end requires epoll (Linux)",
+                    ))
+                }
             }
-            let Ok(stream) = stream else { continue };
-            let state = state.clone();
-            std::thread::spawn(move || handle_connection(stream, &state));
         }
-        Ok(())
     }
 
     /// A handle that can stop [`Server::run`] from another thread.
@@ -413,6 +587,7 @@ impl Server {
         ServerHandle {
             addr: self.local_addr(),
             shutdown: self.state.shutdown.clone(),
+            waker: self.state.waker.clone(),
             join: None,
         }
     }
@@ -427,10 +602,26 @@ impl Server {
     }
 }
 
+/// The threaded front end: one blocking OS thread per accepted
+/// connection. Portable, and the reference the reactor is byte-compared
+/// against.
+fn run_threaded(listener: TcpListener, state: Arc<AppState>) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = state.clone();
+        std::thread::spawn(move || handle_connection(stream, &state));
+    }
+    Ok(())
+}
+
 /// Controls a serving instance: address introspection and shutdown.
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    waker: Option<Arc<WakePipe>>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -442,11 +633,16 @@ impl ServerHandle {
 
     /// Stop accepting connections and (for spawned servers) join the
     /// accept thread. In-flight connections finish independently.
+    ///
+    /// The reactor observes the flag promptly: its `epoll_wait` is woken
+    /// through the self-pipe (and bounded by `tick_ms` regardless). The
+    /// threaded accept loop only re-checks the flag around a connection,
+    /// so it is poked awake with a throwaway connect.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // The accept loop only observes the flag on its next connection:
-        // poke it awake.
-        if let Ok(stream) = TcpStream::connect(self.addr) {
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        } else if let Ok(stream) = TcpStream::connect(self.addr) {
             let _ = stream.shutdown(Shutdown::Both);
         }
         if let Some(join) = self.join.take() {
@@ -458,7 +654,22 @@ impl ServerHandle {
 /// Per-connection loop: parse requests, route, write responses, until the
 /// peer closes, errs, asks to close, or idles past the read timeout.
 fn handle_connection(stream: TcpStream, state: &AppState) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    state.open_conns.fetch_add(1, Ordering::Relaxed);
+    // Decrement on every exit path, including a panicking route handler.
+    struct Gauge<'a>(&'a AtomicU64);
+    impl Drop for Gauge<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    let _gauge = Gauge(&state.open_conns);
+
+    // Same nominal idle budget as the reactor's quiet-tick clock.
+    let idle_ms = state
+        .config
+        .tick_ms
+        .saturating_mul(state.config.idle_timeout_ticks);
+    let _ = stream.set_read_timeout((idle_ms > 0).then(|| Duration::from_millis(idle_ms)));
     let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
@@ -479,15 +690,46 @@ fn handle_connection(stream: TcpStream, state: &AppState) {
             Err(HttpError::Io(_)) => break, // timeout or dropped mid-request
             Err(e @ HttpError::Malformed(_)) => {
                 let _ = respond_error(&mut writer, 400, &e.to_string());
+                linger_close(&mut writer, &mut reader);
                 break;
             }
             Err(e @ HttpError::TooLarge(_)) => {
                 let _ = respond_error(&mut writer, 413, &e.to_string());
+                linger_close(&mut writer, &mut reader);
+                break;
+            }
+            Err(e @ HttpError::HeadersTooLarge(_)) => {
+                let _ = respond_error(&mut writer, 431, &e.to_string());
+                linger_close(&mut writer, &mut reader);
                 break;
             }
         }
     }
     let _ = writer.flush();
+}
+
+/// Most bytes an error teardown drains before giving up on a graceful
+/// close (shared with the reactor front end).
+pub(crate) const LINGER_CAP: usize = 1024 * 1024;
+
+/// Lingering close after an error response: flush the response, send our
+/// FIN, then drain whatever the client was still sending until it closes.
+/// Closing with unread bytes in the receive buffer would turn into an RST
+/// that can destroy the in-flight error response before the client reads
+/// it. Bounded by [`LINGER_CAP`] and the connection's read timeout.
+fn linger_close(writer: &mut BufWriter<TcpStream>, reader: &mut BufReader<TcpStream>) {
+    if writer.flush().is_err() {
+        return;
+    }
+    let _ = writer.get_ref().shutdown(Shutdown::Write);
+    let mut drained = 0usize;
+    let mut scratch = [0u8; 4096];
+    while drained < LINGER_CAP {
+        match reader.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
 }
 
 /// Body served when response serialization itself fails — which the
@@ -510,14 +752,16 @@ fn respond_error<W: Write>(writer: &mut W, status: u16, message: &str) -> std::i
     write_response(writer, status, body.as_bytes(), false)
 }
 
-fn error_body(message: String) -> Arc<str> {
+pub(crate) fn error_body(message: String) -> Arc<str> {
     json_body(&ErrorResponse { error: message })
 }
 
 /// Dispatch one request to its endpoint, producing status and JSON body.
 /// Bodies are `Arc<str>` so the hot paths (cached `/decide` hits, the
 /// precomputed `/scenarios` catalog) are served without copying them.
-fn route(request: &Request, state: &AppState) -> (u16, Arc<str>) {
+/// Shared verbatim by both front ends — the reason their responses are
+/// byte-identical.
+pub(crate) fn route(request: &Request, state: &AppState) -> (u16, Arc<str>) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/decide") => handle_decide(&request.body, state),
         ("POST", "/tiers") => handle_tiers(&request.body),
@@ -669,6 +913,8 @@ fn handle_healthz(state: &AppState) -> (u16, Arc<str>) {
         requests: state.requests.load(Ordering::Relaxed),
         workers: state.config.workers,
         max_batch: state.config.max_batch,
+        frontend: state.config.frontend.to_string(),
+        open_connections: state.open_conns.load(Ordering::Relaxed),
         cache: state.cache.stats(),
         batch: state.batcher.stats(),
         frontier_cache: state.frontier_cache.stats(),

@@ -26,13 +26,13 @@ use stream_score::core::sensitivity::Sensitivity;
 use stream_score::core::EvalEngine;
 use stream_score::loadgen::{
     boundary_csv, fleet_csv, fleet_scenario_table, fleet_table, frontier_csv, frontier_table,
-    loadtest_table, replay_csv, replay_summary_table, replay_table, run_http_load, AdmissionPolicy,
-    FleetConfig, FleetEngine, FleetSim, FrontierJob, HttpLoadSpec, ReplayConfig, SessionReplay,
-    STEADY_TOLERANCE,
+    loadtest_table, ramp_table, replay_csv, replay_summary_table, replay_table, run_conn_ramp,
+    run_http_load, AdmissionPolicy, ConnRampSpec, FleetConfig, FleetEngine, FleetSim, FrontierJob,
+    HttpLoadSpec, ReplayConfig, SessionReplay, STEADY_TOLERANCE,
 };
 use stream_score::prelude::*;
 use stream_score::report::CharGrid;
-use stream_score::server::{Server, ServerConfig};
+use stream_score::server::{Frontend, Server, ServerConfig};
 use stream_score::sim::{fluid_tolerance, Fidelity, TraceShape};
 
 fn usage() -> &'static str {
@@ -72,9 +72,14 @@ fn usage() -> &'static str {
        stream-score probe     [--seconds <N>] [--concurrency <N>]\n\
        stream-score serve     [--port <N>] [--workers <N>]\n\
                               [--cache-capacity <N>] [--batch-max <N>] [--fleet-cap <N>]\n\
+                              [--frontend reactor|threaded] [--max-conns <N>]\n\
+                              [--idle-ticks <N>] [--tick-ms <N>]\n\
+                              [--read-buf <BYTES>] [--write-buf <BYTES>]\n\
        stream-score loadtest  [--addr <HOST:PORT>] [--clients <N>]\n\
+                              [--concurrency <N>]  (connection-ramp mode)\n\
                               [--requests <N>] [--distinct <N>] [--seed <N>]\n\
-                              [--workers <N>] [--cache-capacity <N>] [--format text|md]\n\
+                              [--workers <N>] [--cache-capacity <N>]\n\
+                              [--frontend reactor|threaded] [--format text|md]\n\
        stream-score help\n\
      \n\
      EXAMPLES:\n\
@@ -910,7 +915,17 @@ fn flag_or<T: std::str::FromStr>(
     }
 }
 
+/// Parse the `--frontend` flag shared by `serve` and `loadtest`'s
+/// in-process server, surfacing the enum's own error message.
+fn parse_frontend(flags: &HashMap<String, String>) -> Result<Frontend, String> {
+    match flags.get("frontend") {
+        Some(raw) => raw.parse(),
+        None => Ok(Frontend::default()),
+    }
+}
+
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let defaults = ServerConfig::default();
     let config = ServerConfig {
         port: flag_or(flags, "port", 8080u16)?,
         workers: parse_workers(flags)?.unwrap_or_else(|| {
@@ -920,11 +935,13 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         }),
         cache_capacity: flag_or(flags, "cache-capacity", 4096usize)?,
         max_batch: flag_or(flags, "batch-max", 32usize)?,
-        fleet_session_cap: flag_or(
-            flags,
-            "fleet-cap",
-            ServerConfig::default().fleet_session_cap,
-        )?,
+        fleet_session_cap: flag_or(flags, "fleet-cap", defaults.fleet_session_cap)?,
+        frontend: parse_frontend(flags)?,
+        max_connections: flag_or(flags, "max-conns", defaults.max_connections)?,
+        idle_timeout_ticks: flag_or(flags, "idle-ticks", defaults.idle_timeout_ticks)?,
+        tick_ms: flag_or(flags, "tick-ms", defaults.tick_ms)?,
+        read_buffer: flag_or(flags, "read-buf", defaults.read_buffer)?,
+        write_buffer: flag_or(flags, "write-buf", defaults.write_buffer)?,
     };
     if config.max_batch == 0 {
         return Err("--batch-max must be positive".into());
@@ -932,16 +949,27 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     if config.fleet_session_cap == 0 {
         return Err("--fleet-cap must be positive".into());
     }
+    if config.max_connections == 0 {
+        return Err("--max-conns must be positive".into());
+    }
+    if config.tick_ms == 0 {
+        return Err("--tick-ms must be positive".into());
+    }
+    if config.read_buffer == 0 || config.write_buffer == 0 {
+        return Err("--read-buf and --write-buf must be positive".into());
+    }
     let server =
         Server::bind(config).map_err(|e| format!("cannot bind port {}: {e}", config.port))?;
     println!(
-        "serving on http://{} ({} workers, cache capacity {}, batches up to {}, \
-         fleet cap {} sessions)",
+        "serving on http://{} ({} frontend, {} workers, cache capacity {}, batches up to {}, \
+         fleet cap {} sessions, up to {} connections)",
         server.local_addr(),
+        config.frontend,
         config.workers,
         config.cache_capacity,
         config.max_batch,
-        config.fleet_session_cap
+        config.fleet_session_cap,
+        config.max_connections
     );
     println!(
         "endpoints: POST /decide, POST /tiers, POST /frontier, POST /simulate, \
@@ -951,33 +979,38 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_loadtest(flags: &HashMap<String, String>) -> Result<(), String> {
-    let spec_for = |addr: String| -> Result<HttpLoadSpec, String> {
-        Ok(HttpLoadSpec {
-            addr,
-            clients: flag_or(flags, "clients", 4usize)?,
-            requests_per_client: flag_or(flags, "requests", 100usize)?,
-            distinct_workloads: flag_or(flags, "distinct", 8usize)?,
-            seed: flag_or(flags, "seed", 42u64)?,
-        })
-    };
     let markdown = match flags.get("format").map(String::as_str) {
         Some("md") => true,
         Some("text") | None => false,
         Some(other) => return Err(format!("unknown format {other:?} (use text or md)")),
     };
+    // --concurrency switches from the threaded closed-loop driver to the
+    // nonblocking connection ramp: one event loop holding every
+    // connection open at once.
+    let ramp_conns = flags
+        .get("concurrency")
+        .map(|_| flag_or(flags, "concurrency", 0usize))
+        .transpose()?;
+    if ramp_conns.is_some() && flags.contains_key("clients") {
+        return Err(
+            "--clients drives the closed-loop mode and --concurrency the connection ramp; \
+             pick one"
+                .into(),
+        );
+    }
 
     // With --addr, drive an already-running server; without, spin one up
     // in-process on an OS-assigned port for a self-contained benchmark.
-    let (report, served) = match flags.get("addr") {
+    let (addr, served) = match flags.get("addr") {
         Some(addr) => {
-            for local in ["workers", "cache-capacity"] {
+            for local in ["workers", "cache-capacity", "frontend"] {
                 if flags.contains_key(local) {
                     return Err(format!(
                         "--{local} configures the in-process server and conflicts with --addr"
                     ));
                 }
             }
-            (run_http_load(&spec_for(addr.clone())?)?, None)
+            (addr.clone(), None)
         }
         None => {
             let config = ServerConfig {
@@ -988,31 +1021,73 @@ fn cmd_loadtest(flags: &HashMap<String, String>) -> Result<(), String> {
                         .map(|n| n.get())
                         .unwrap_or(1)
                 }),
+                frontend: parse_frontend(flags)?,
                 ..ServerConfig::default()
             };
+            let frontend = config.frontend;
             let server = Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;
             let addr = server.local_addr().to_string();
             let handle = server.spawn();
-            println!("no --addr given: serving in-process on {addr} for this run");
-            (run_http_load(&spec_for(addr)?)?, Some(handle))
+            println!(
+                "no --addr given: serving in-process on {addr} ({frontend} frontend) for this run"
+            );
+            (addr, Some(handle))
         }
+    };
+
+    let distinct_workloads = flag_or(flags, "distinct", 8usize)?;
+    let seed = flag_or(flags, "seed", 42u64)?;
+    let outcome = if let Some(connections) = ramp_conns {
+        let spec = ConnRampSpec {
+            addr,
+            connections,
+            requests_per_conn: flag_or(flags, "requests", 4usize)?,
+            distinct_workloads,
+            seed,
+        };
+        run_conn_ramp(&spec).map(|report| {
+            let table = ramp_table(&report);
+            let summary = format!(
+                "held {} of {} connections open simultaneously; mean latency {:.3} ms \
+                 over {} requests ({} errors)",
+                report.opened,
+                report.spec.connections,
+                report.summary.mean() * 1e3,
+                report.ok + report.errors,
+                report.errors
+            );
+            (table, summary)
+        })
+    } else {
+        let spec = HttpLoadSpec {
+            addr,
+            clients: flag_or(flags, "clients", 4usize)?,
+            requests_per_client: flag_or(flags, "requests", 100usize)?,
+            distinct_workloads,
+            seed,
+        };
+        run_http_load(&spec).map(|report| {
+            let table = loadtest_table(&report);
+            let summary = format!(
+                "mean latency {:.3} ms over {} requests ({} errors)",
+                report.summary.mean() * 1e3,
+                report.ok + report.errors,
+                report.errors
+            );
+            (table, summary)
+        })
     };
     if let Some(handle) = served {
         handle.shutdown();
     }
+    let (table, summary) = outcome?;
 
-    let table = loadtest_table(&report);
     if markdown {
         print!("{}", table.to_markdown());
     } else {
         print!("{}", table.to_text());
     }
-    println!(
-        "mean latency {:.3} ms over {} requests ({} errors)",
-        report.summary.mean() * 1e3,
-        report.ok + report.errors,
-        report.errors
-    );
+    println!("{summary}");
     Ok(())
 }
 

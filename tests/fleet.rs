@@ -249,6 +249,7 @@ fn fleet_session_cap_is_configurable_and_reported() {
         cache_capacity: 64,
         max_batch: 16,
         fleet_session_cap: 8,
+        ..ServerConfig::default()
     })
     .expect("bind server");
     let handle = server.spawn();

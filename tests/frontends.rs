@@ -1,0 +1,341 @@
+//! Differential tests between the two server front ends.
+//!
+//! The reactor front end exists for scale, not for behavior: every
+//! response it produces must be byte-identical to what the blocking
+//! thread-per-connection front end writes for the same request. These
+//! tests pin that equivalence across all four POST routes, the GET
+//! routes, and the error paths, then exercise the reactor-only machinery
+//! (pipelining, split reads, oversized-header rejection, idle timeouts,
+//! the connection cap, and shutdown promptness) that the shared
+//! integration suite cannot reach through the blocking code path.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use stream_score::server::{Frontend, Server, ServerConfig, ServerHandle};
+
+const TABLE3: &str = r#"{"data_gb":2.0,"intensity_tflop_per_gb":17.0,"local_tflops":10.0,
+    "remote_tflops":340.0,"bandwidth_gbps":25.0,"alpha":0.8}"#;
+
+fn start_with(frontend: Frontend, tweak: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
+    let mut config = ServerConfig {
+        port: 0,
+        workers: 2,
+        cache_capacity: 64,
+        max_batch: 8,
+        frontend,
+        ..ServerConfig::default()
+    };
+    tweak(&mut config);
+    Server::bind(config).expect("bind server").spawn()
+}
+
+fn start(frontend: Frontend) -> ServerHandle {
+    start_with(frontend, |_| {})
+}
+
+/// One request over a fresh connection; returns the complete raw
+/// response (status line, headers, and body) exactly as it hit the wire.
+fn call_raw(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+/// The fixed request mix the differential test replays against both
+/// front ends: all four POST routes (valid and invalid bodies), both GET
+/// routes' routing errors, unknown paths, and malformed JSON.
+fn request_mix() -> Vec<(&'static str, &'static str, String)> {
+    let tiers = format!(r#"{{"workload":{TABLE3},"sss":7.5}}"#);
+    let frontier = format!(
+        r#"{{"workload":{TABLE3},"x":"wan_gbps:1:100","y":"data_tb:0.1:10","resolution":8}}"#
+    );
+    let simulate =
+        format!(r#"{{"workload":{TABLE3},"shapes":["steady","outage"],"frames":16,"files":4}}"#);
+    vec![
+        ("POST", "/decide", TABLE3.to_owned()),
+        ("POST", "/tiers", tiers),
+        ("POST", "/frontier", frontier),
+        ("POST", "/simulate", simulate),
+        // Repeat of the first body: exercises the cache-hit path too.
+        ("POST", "/decide", TABLE3.to_owned()),
+        ("GET", "/scenarios", String::new()),
+        // Error paths must match byte-for-byte as well.
+        ("POST", "/decide", "not json".to_owned()),
+        (
+            "POST",
+            "/decide",
+            TABLE3.replace("\"alpha\":0.8", "\"alpha\":1.4"),
+        ),
+        ("GET", "/no-such-endpoint", String::new()),
+        ("GET", "/decide", String::new()),
+        ("DELETE", "/healthz", String::new()),
+    ]
+}
+
+/// The tentpole invariant: the reactor and the threaded front end answer
+/// the same request mix with byte-identical raw responses — status line,
+/// headers, and body — across every route and error path.
+#[cfg(target_os = "linux")]
+#[test]
+fn responses_byte_identical_across_frontends() {
+    let mix = request_mix();
+    let run = |frontend: Frontend| -> Vec<String> {
+        let handle = start(frontend);
+        let out = mix
+            .iter()
+            .map(|(method, path, body)| call_raw(handle.addr(), method, path, body))
+            .collect();
+        handle.shutdown();
+        out
+    };
+    let threaded = run(Frontend::Threaded);
+    let reactor = run(Frontend::Reactor);
+    for (i, (t, r)) in threaded.iter().zip(&reactor).enumerate() {
+        let (method, path, _) = &mix[i];
+        assert_eq!(t, r, "front ends disagree on request {i} ({method} {path})");
+    }
+}
+
+/// `/healthz` reports which front end is serving and how many
+/// connections it currently holds.
+#[cfg(target_os = "linux")]
+#[test]
+fn healthz_names_the_frontend_and_counts_connections() {
+    for (frontend, name) in [
+        (Frontend::Reactor, "reactor"),
+        (Frontend::Threaded, "threaded"),
+    ] {
+        let handle = start(frontend);
+        let raw = call_raw(handle.addr(), "GET", "/healthz", "");
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        let body = raw.split("\r\n\r\n").nth(1).unwrap_or_default();
+        let health: stream_score::server::Health =
+            serde_json::from_str(body).expect("health parses");
+        assert_eq!(health.frontend, name);
+        // The probing connection itself is open while the body renders.
+        assert!(health.open_connections >= 1, "{}", health.open_connections);
+        handle.shutdown();
+    }
+}
+
+/// Several requests written back-to-back in one TCP segment come back as
+/// the same number of responses, in order (HTTP/1.1 pipelining).
+#[cfg(target_os = "linux")]
+#[test]
+fn pipelined_requests_answered_in_order() {
+    let handle = start(Frontend::Reactor);
+    let reference = call_raw(handle.addr(), "POST", "/decide", TABLE3);
+    let reference_body = reference.split("\r\n\r\n").nth(1).expect("body");
+
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    let one = format!(
+        "POST /decide HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+        TABLE3.len(),
+        TABLE3
+    );
+    let last = format!(
+        "POST /decide HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+        TABLE3.len(),
+        TABLE3
+    );
+    // Three requests in a single write: two keep-alive, one closing.
+    let wire = format!("{one}{one}{last}");
+    stream.write_all(wire.as_bytes()).expect("send pipeline");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read all");
+
+    let statuses = response.matches("HTTP/1.1 200 OK").count();
+    assert_eq!(statuses, 3, "{response}");
+    assert_eq!(
+        response.matches(reference_body).count(),
+        3,
+        "pipelined bodies must equal the fresh-connection body"
+    );
+    handle.shutdown();
+}
+
+/// A request trickled over the socket a few bytes at a time — split
+/// mid-status-line, mid-header, and mid-body — still parses into the
+/// same response.
+#[cfg(target_os = "linux")]
+#[test]
+fn split_writes_reassemble() {
+    let handle = start(Frontend::Reactor);
+    let reference = call_raw(handle.addr(), "POST", "/decide", TABLE3);
+
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    let wire = format!(
+        "POST /decide HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+        TABLE3.len(),
+        TABLE3
+    );
+    // 7-byte chunks with small pauses guarantee the reactor sees the
+    // request in many reads, with every boundary class exercised.
+    for chunk in wire.as_bytes().chunks(7) {
+        stream.write_all(chunk).expect("send chunk");
+        stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    assert_eq!(response, reference);
+    handle.shutdown();
+}
+
+/// A header line past the parser's limit draws `431 Request Header
+/// Fields Too Large` — from both front ends, byte-identically.
+#[cfg(target_os = "linux")]
+#[test]
+fn oversized_header_draws_431_from_both_frontends() {
+    let run = |frontend: Frontend| -> String {
+        let handle = start(frontend);
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        let huge = "x".repeat(16 * 1024);
+        write!(
+            stream,
+            "POST /decide HTTP/1.1\r\nx-padding: {huge}\r\ncontent-length: 0\r\n\r\n"
+        )
+        .expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        handle.shutdown();
+        response
+    };
+    let threaded = run(Frontend::Threaded);
+    let reactor = run(Frontend::Reactor);
+    assert!(threaded.starts_with("HTTP/1.1 431"), "{threaded}");
+    assert_eq!(threaded, reactor);
+}
+
+/// Garbage on the wire draws a `400` and a teardown, not a hang.
+#[cfg(target_os = "linux")]
+#[test]
+fn malformed_request_draws_400_and_teardown() {
+    let handle = start(Frontend::Reactor);
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream.write_all(b"not http at all\r\n\r\n").expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    handle.shutdown();
+}
+
+/// Regression for the stop-flag latch: a freshly started reactor with
+/// zero clients must observe `shutdown()` within a couple of epoll
+/// ticks, not hang in `epoll_wait` until a connection happens by.
+#[cfg(target_os = "linux")]
+#[test]
+fn shutdown_is_prompt_with_no_clients() {
+    for frontend in [Frontend::Reactor, Frontend::Threaded] {
+        let handle = start(frontend);
+        #[allow(clippy::disallowed_methods)]
+        // sss-lint: allow(D002, test wall-clock measures shutdown promptness, never sim state)
+        let begun = Instant::now();
+        handle.shutdown();
+        let took = begun.elapsed();
+        assert!(
+            took < Duration::from_secs(2),
+            "{frontend} shutdown took {took:?}"
+        );
+    }
+}
+
+/// Idle connections are retired after `idle_timeout_ticks` quiet epoll
+/// ticks — the reactor's wall-clock-free idle timeout.
+#[cfg(target_os = "linux")]
+#[test]
+fn idle_connections_time_out() {
+    let handle = start_with(Frontend::Reactor, |config| {
+        config.tick_ms = 10;
+        config.idle_timeout_ticks = 5;
+    });
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    // Send nothing. The server must close the socket on its own.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut buf = [0u8; 16];
+    let n = stream.read(&mut buf).expect("EOF, not a read timeout");
+    assert_eq!(n, 0, "expected server-side close of the idle connection");
+    handle.shutdown();
+}
+
+/// Connections beyond `max_connections` are dropped at accept while the
+/// ones inside the cap keep working.
+#[cfg(target_os = "linux")]
+#[test]
+fn connections_beyond_cap_are_dropped() {
+    let handle = start_with(Frontend::Reactor, |config| {
+        config.max_connections = 2;
+    });
+    let keep_a = TcpStream::connect(handle.addr()).expect("connect");
+    let keep_b = TcpStream::connect(handle.addr()).expect("connect");
+    // Give the reactor a beat to accept (and count) the first two.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut over = TcpStream::connect(handle.addr()).expect("connect (backlog)");
+    over.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut buf = [0u8; 16];
+    // The over-cap socket is closed without a byte; a reset is equally
+    // acceptable — what matters is that no response ever arrives.
+    match over.read(&mut buf) {
+        Ok(n) => assert_eq!(n, 0, "over-cap connection must not be served"),
+        Err(e) => assert_ne!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock,
+            "over-cap connection must be closed, not left hanging: {e}"
+        ),
+    }
+
+    // The in-cap connections still serve requests.
+    for stream in [keep_a, keep_b] {
+        let mut stream = stream;
+        write!(
+            stream,
+            "POST /decide HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+            TABLE3.len(),
+            TABLE3
+        )
+        .expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    }
+    handle.shutdown();
+}
+
+/// The connection-ramp client holds a four-digit connection set open
+/// against the reactor from one process, with every request answered.
+/// (The full ≥5k ramp runs in the `server_scaling` bench; this keeps the
+/// test suite fast while still proving the mechanism end to end.)
+#[cfg(target_os = "linux")]
+#[test]
+fn ramp_holds_a_thousand_connections() {
+    let handle = start_with(Frontend::Reactor, |config| {
+        config.cache_capacity = 4096;
+    });
+    let spec = stream_score::loadgen::ConnRampSpec {
+        addr: handle.addr().to_string(),
+        connections: 1000,
+        requests_per_conn: 2,
+        distinct_workloads: 8,
+        seed: 42,
+    };
+    let report = stream_score::loadgen::run_conn_ramp(&spec).expect("ramp run");
+    handle.shutdown();
+    assert_eq!(report.opened, 1000, "reactor must accept the whole set");
+    assert_eq!(report.completed, 1000);
+    assert_eq!(report.ok, 2000);
+    assert_eq!(report.errors, 0);
+    assert!(report.latency.p99 >= report.latency.p50);
+}
